@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *checks* the paper's expected answer (so a regression is
+caught even under ``--benchmark-only``) and *prints* the rows / series the
+corresponding figure or example reports, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the paper's artefacts on stdout.  EXPERIMENTS.md records the
+printed values next to the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MayBMS
+from repro.datasets import cleaning_relation_r, figure1_database, figure3_whale_worlds
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print a small aligned table (the benchmark's reproduction of a figure)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n== {title} ==")
+    print(" | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    print("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        print(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def fresh_figure1_db():
+    """A factory returning a new session on the Figure 1 database each call."""
+    return lambda: MayBMS(figure1_database())
+
+
+@pytest.fixture
+def fresh_whales_db():
+    """A factory returning a new session on the Figure 3 world-set each call."""
+
+    def build():
+        db = MayBMS()
+        db.world_set = figure3_whale_worlds()
+        return db
+
+    return build
+
+
+@pytest.fixture
+def fresh_cleaning_db():
+    """A factory returning a new session on the Figure 5 relation each call."""
+    return lambda: MayBMS({"R": cleaning_relation_r()})

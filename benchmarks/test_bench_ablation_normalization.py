@@ -1,0 +1,78 @@
+"""ABL-1 — ablation: WSD normalisation (component factorisation) on/off.
+
+DESIGN.md calls out normalisation as a design choice worth measuring: an
+unnormalised decomposition (one component holding every field) stores the full
+cross product of the independent choices, while the normalised form stores the
+factors separately.  The benchmark converts explicitly enumerated world-sets
+of increasing size into WSDs and reports the storage with and without
+normalisation, plus the time the factorisation itself takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import DirtyRelationSpec, dirty_key_relation
+from repro.worldset import WorldSet, repair_by_key
+from repro.wsd import from_worldset, is_normalized, normalize
+
+from conftest import print_table
+
+SPECS = [DirtyRelationSpec(groups=g, options=2, seed=11) for g in (2, 4, 6, 8)]
+
+
+def build_unnormalised():
+    """One unnormalised WSD (single component) per sweep point."""
+    results = []
+    for spec in SPECS:
+        relation = dirty_key_relation(spec, name="Dirty")
+        explicit = repair_by_key(WorldSet.single({"Dirty": relation}), "Dirty",
+                                 ["K"], weight="W", target_name="I")
+        results.append((spec, explicit, from_worldset(explicit, "I")))
+    return results
+
+
+def test_abl1_normalisation_reduces_storage(benchmark):
+    prepared = build_unnormalised()
+
+    def normalise_all():
+        return [(spec, explicit, raw, normalize(raw))
+                for spec, explicit, raw in prepared]
+
+    results = benchmark(normalise_all)
+    rows = []
+    for spec, explicit, raw, normalised in results:
+        assert normalised.world_count() == raw.world_count()
+        assert normalised.equivalent_to_worldset(explicit, relations=["I"])
+        assert is_normalized(normalised)
+        assert len(normalised.components) >= len(raw.components)
+        rows.append((f"groups={spec.groups}", raw.world_count(),
+                     raw.storage_size(), normalised.storage_size(),
+                     len(normalised.components)))
+    # Shape: the gap must widen as the number of independent groups grows.
+    gaps = [raw_size / norm_size for _, _, raw_size, norm_size, _ in rows]
+    assert gaps[-1] > gaps[0], "normalisation must pay off more on larger inputs"
+    print_table("ABL-1: storage with and without normalisation",
+                ["point", "worlds", "unnormalised cells", "normalised cells",
+                 "components"], rows)
+
+
+def test_abl1_confidence_cost_unnormalised_vs_normalised(benchmark):
+    spec = SPECS[-1]
+    relation = dirty_key_relation(spec, name="Dirty")
+    explicit = repair_by_key(WorldSet.single({"Dirty": relation}), "Dirty",
+                             ["K"], weight="W", target_name="I")
+    raw = from_worldset(explicit, "I")
+    normalised = normalize(raw)
+    probe = explicit.worlds[0].relation("I").rows[0]
+
+    def query_normalised():
+        return normalised.tuple_confidence("I", probe)
+
+    fast = benchmark(query_normalised)
+    slow = raw.tuple_confidence("I", probe)
+    assert fast == pytest.approx(slow)
+    print_table("ABL-1: tuple confidence agrees across representations",
+                ["representation", "components", "conf"],
+                [("unnormalised", len(raw.components), round(slow, 4)),
+                 ("normalised", len(normalised.components), round(fast, 4))])

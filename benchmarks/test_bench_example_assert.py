@@ -1,0 +1,32 @@
+"""EX2.5 — the assert operation: drop worlds containing c1, renormalise to 0.44/0.56."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+SETUP_SQL = "create table I as select A, B, C from R repair by key A weight D;"
+ASSERT_SQL = ("create table J as select * from I "
+              "assert not exists(select * from I where C = 'c1');")
+
+
+def test_example_2_5_assert(benchmark, fresh_figure1_db):
+    def run():
+        db = fresh_figure1_db()
+        db.execute(SETUP_SQL)
+        db.execute(ASSERT_SQL)
+        return db
+
+    db = benchmark(run)
+    assert db.world_count() == 2
+    probabilities = sorted(round(world.probability, 2) for world in db.world_set)
+    assert probabilities == [0.44, 0.56]
+    assert sum(world.probability for world in db.world_set) == pytest.approx(1.0)
+    for world in db.world_set:
+        assert world.relation("J").bag_equal(world.relation("I"))
+        assert all(row[2] != "c1" for row in world.relation("J").rows)
+    print_table("Example 2.5: worlds surviving the assert",
+                ["world", "P (renormalised)"],
+                [(world.label, round(world.probability, 2))
+                 for world in db.world_set])

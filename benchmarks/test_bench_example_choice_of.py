@@ -1,0 +1,46 @@
+"""EX2.6 / EX2.7 — choice-of partitions of S.E and weighted choice-of on R.A."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+
+def test_example_2_6_choice_of_e(benchmark, fresh_figure1_db):
+    db = fresh_figure1_db()
+
+    def query():
+        return db.execute("select * from S choice of E;")
+
+    result = benchmark(query)
+    assert len(result.world_answers) == 2
+    partitions = {tuple(sorted(answer.relation.rows))
+                  for answer in result.world_answers}
+    assert (("c2", "e1"), ("c4", "e1")) in partitions
+    assert (("c4", "e2"),) in partitions
+    assert db.world_count() == 1  # not materialised
+    rows = [(answer.label, len(answer.relation),
+             ", ".join(sorted({row[1] for row in answer.relation.rows})))
+            for answer in result.world_answers]
+    print_table("Example 2.6: choice of E", ["world", "tuples", "E value"], rows)
+
+
+def test_example_2_7_weighted_choice_of_a(benchmark, fresh_figure1_db):
+    db = fresh_figure1_db()
+
+    def query():
+        return db.execute("select * from R choice of A weight D;")
+
+    result = benchmark(query)
+    probabilities = sorted(round(answer.probability, 2)
+                           for answer in result.world_answers)
+    assert probabilities == [0.26, 0.35, 0.39]
+    assert sum(answer.probability
+               for answer in result.world_answers) == pytest.approx(1.0)
+    rows = [(answer.label,
+             sorted({row[0] for row in answer.relation.rows})[0],
+             round(answer.probability, 2))
+            for answer in result.world_answers]
+    print_table("Example 2.7: choice of A weight D",
+                ["world", "A value", "P"], rows)

@@ -1,0 +1,40 @@
+"""EX2.8 / EX2.9 — possible sums across worlds and certain values under choice-of."""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+SETUP_SQL = "create table I as select A, B, C from R repair by key A weight D;"
+
+
+def test_example_2_8_possible_sum(benchmark, fresh_figure1_db):
+    db = fresh_figure1_db()
+    db.execute(SETUP_SQL)
+
+    def query():
+        return db.execute("select possible sum(B) from I;")
+
+    result = benchmark(query)
+    assert sorted(row[0] for row in result.rows()) == [44, 49, 50, 55]
+    per_world = db.execute("select sum(B) from I;")
+    print_table("Example 2.8: sum(B) per world",
+                ["world", "sum(B)"],
+                [(answer.label, answer.relation.rows[0][0])
+                 for answer in per_world.world_answers])
+    print_table("Example 2.8: select possible sum(B)",
+                ["possible sums"], [(row[0],) for row in result.rows()])
+
+
+def test_example_2_9_certain_under_choice_of(benchmark, fresh_figure1_db):
+    db = fresh_figure1_db()
+
+    def query():
+        return db.execute("select certain E from S choice of C;")
+
+    result = benchmark(query)
+    assert result.rows() == [("e1",)]
+    possible = db.execute("select possible E from S choice of C;")
+    print_table("Example 2.9: certain vs possible E under choice of C",
+                ["quantifier", "E values"],
+                [("certain", ", ".join(row[0] for row in result.rows())),
+                 ("possible", ", ".join(sorted(row[0] for row in possible.rows())))])

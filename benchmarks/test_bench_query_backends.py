@@ -1,0 +1,78 @@
+"""SCALE-2 — query answering: explicit enumeration vs. the WSD backend.
+
+Tuple-confidence queries (the ``conf`` operation) are answered two ways:
+
+* the explicit backend materialises every repair and sums world probabilities;
+* the WSD backend computes the same confidence from the decomposition,
+  touching only the component of the queried tuple.
+
+Both must return identical numbers on the points where enumeration is
+feasible; the WSD backend must additionally handle points where enumeration is
+not feasible at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import DirtyRelationSpec, dirty_key_relation
+from repro.worldset import WorldSet, repair_by_key
+from repro.wsd import from_key_repair
+
+from conftest import print_table
+
+FEASIBLE_SPEC = DirtyRelationSpec(groups=8, options=2, seed=3)
+LARGE_SPEC = DirtyRelationSpec(groups=60, options=4, seed=3)
+
+
+def explicit_confidences(relation, rows):
+    explicit = repair_by_key(WorldSet.single({"Dirty": relation}), "Dirty",
+                             ["K"], weight="W", target_name="I")
+    confidences = []
+    for row in rows:
+        confidences.append(sum(
+            world.probability for world in explicit
+            if row in set(world.relation("I").rows)))
+    return confidences
+
+
+def wsd_confidences(relation, rows):
+    wsd = from_key_repair(relation, ["K"], weight="W", target_name="I")
+    return [wsd.tuple_confidence("I", row) for row in rows]
+
+
+def test_scale2_explicit_backend_small_point(benchmark):
+    relation = dirty_key_relation(FEASIBLE_SPEC)
+    probe_rows = relation.rows[:8]
+    confidences = benchmark(explicit_confidences, relation, probe_rows)
+    assert all(0 < value <= 1 for value in confidences)
+    print_table("SCALE-2: explicit backend (256 worlds), first tuple confidences",
+                ["tuple", "conf"],
+                [(str(row), round(value, 4))
+                 for row, value in zip(probe_rows, confidences)])
+
+
+def test_scale2_wsd_backend_small_point_matches_explicit(benchmark):
+    relation = dirty_key_relation(FEASIBLE_SPEC)
+    probe_rows = relation.rows[:8]
+    expected = explicit_confidences(relation, probe_rows)
+    measured = benchmark(wsd_confidences, relation, probe_rows)
+    for have, want in zip(measured, expected):
+        assert have == pytest.approx(want)
+    print_table("SCALE-2: WSD backend agrees with explicit enumeration",
+                ["tuple", "conf (WSD)", "conf (explicit)"],
+                [(str(row), round(have, 4), round(want, 4))
+                 for row, have, want in zip(probe_rows, measured, expected)])
+
+
+def test_scale2_wsd_backend_handles_infeasible_point(benchmark):
+    """4^60 worlds: enumeration is impossible, the WSD answers instantly."""
+    relation = dirty_key_relation(LARGE_SPEC)
+    probe_rows = relation.rows[:8]
+    measured = benchmark(wsd_confidences, relation, probe_rows)
+    assert all(0 < value <= 1 for value in measured)
+    wsd = from_key_repair(relation, ["K"], weight="W", target_name="I")
+    print_table("SCALE-2: WSD backend on 4^60 worlds",
+                ["log10(worlds)", "WSD cells", "max conf queried"],
+                [(round(wsd.log10_world_count(), 1), wsd.storage_size(),
+                  round(max(measured), 4))])

@@ -1,0 +1,83 @@
+"""SCALE-1 — representation size: explicit world-sets vs. world-set decompositions.
+
+This regenerates the scalability argument the demo paper leans on (and its
+companion papers quantify): the number of repairs of a dirty relation grows
+exponentially with the number of violated key groups, so enumerating worlds
+explodes, while the world-set decomposition stays linear in the input size.
+
+The printed series has one row per sweep point: world count, explicit
+representation size (total stored tuples across worlds — only for the points
+small enough to enumerate) and WSD storage size.  The expected *shape*:
+explicit size doubles (or quadruples) per added group, WSD size grows by a
+constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import dirty_key_relation, scalability_sweep
+from repro.worldset import WorldSet, repair_by_key
+from repro.wsd import from_key_repair
+
+from conftest import print_table
+
+SWEEP = scalability_sweep(groups=(2, 4, 6, 8, 10, 12), options=(2, 4),
+                          explicit_limit=5000)
+
+
+def build_all_wsds():
+    results = []
+    for point in SWEEP:
+        relation = dirty_key_relation(point.spec)
+        wsd = from_key_repair(relation, ["K"], weight="W", target_name="I")
+        results.append((point, relation, wsd))
+    return results
+
+
+def test_scale1_wsd_storage_stays_linear(benchmark):
+    results = benchmark(build_all_wsds)
+    rows = []
+    for point, relation, wsd in results:
+        explicit_size = None
+        if point.explicit_feasible:
+            explicit = repair_by_key(WorldSet.single({"Dirty": relation}),
+                                     "Dirty", ["K"], weight="W", target_name="I")
+            assert len(explicit) == point.world_count
+            explicit_size = sum(len(world.relation("I")) for world in explicit)
+        assert wsd.world_count() == point.world_count
+        # The WSD must stay linear in the input: never more cells than a small
+        # multiple of the input relation's cell count.
+        input_cells = len(relation) * len(relation.schema)
+        assert wsd.storage_size() <= 2 * input_cells
+        rows.append((point.label, point.world_count,
+                     explicit_size if explicit_size is not None else "infeasible",
+                     wsd.storage_size()))
+    # Shape check: explicit blows up, WSD stays flat.  Compare the largest
+    # enumerable point with the WSD at the largest point of the same option
+    # count.
+    enumerable = [row for row in rows if row[2] != "infeasible"]
+    assert enumerable, "at least one point must be enumerable"
+    largest_explicit = max(row[2] for row in enumerable)
+    largest_wsd = max(row[3] for row in rows)
+    assert largest_explicit > largest_wsd, (
+        "explicit representation must dominate WSD storage on the sweep")
+    print_table("SCALE-1: worlds vs. representation size",
+                ["point", "worlds", "explicit tuples", "WSD cells"], rows)
+
+
+def test_scale1_wsd_construction_scales_with_input_not_worlds(benchmark):
+    """Constructing the WSD for 4^12 worlds must take about as long as for 2^2."""
+    big = SWEEP.points[-1]
+    relation = dirty_key_relation(big.spec)
+
+    def build():
+        return from_key_repair(relation, ["K"], weight="W", target_name="I")
+
+    wsd = benchmark(build)
+    assert wsd.world_count() == big.world_count
+    assert wsd.world_count() >= 4 ** 12
+    print_table("SCALE-1: largest point built compactly",
+                ["point", "worlds", "WSD cells", "log10(worlds)"],
+                [(big.label, wsd.world_count(), wsd.storage_size(),
+                  round(wsd.log10_world_count(), 2))])

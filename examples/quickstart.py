@@ -1,0 +1,61 @@
+"""Quickstart: the I-SQL operations of the paper in five minutes.
+
+Walks through Section 2 of "Query language support for incomplete information
+in the MayBMS system" (VLDB 2007) on the complete database of Figure 1:
+repair-by-key with weights, possible / certain, assert, choice-of and conf.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MayBMS
+from repro.datasets import figure1_database
+
+
+def main() -> None:
+    db = MayBMS(figure1_database())
+    print("Complete database of Figure 1 (one world):")
+    print(db.relation("R").pretty())
+    print()
+    print(db.relation("S").pretty())
+
+    # Example 2.3 / 2.4: enumerate all repairs of the key A, weighted by D.
+    db.execute("create table I as select A, B, C from R repair by key A weight D;")
+    print(f"\nAfter repair by key A weight D: {db.world_count()} worlds")
+    for world in db.world_set:
+        print(f"\n  world {world.label}  P = {world.probability:.2f}")
+        for row in world.relation("I").rows:
+            print("   ", row)
+
+    # Example 2.8: per-world aggregation and the possible quantifier.
+    per_world = db.execute("select sum(B) from I;")
+    print("\nsum(B) per world:",
+          {answer.label: answer.relation.rows[0][0]
+           for answer in per_world.world_answers})
+    possible_sums = db.execute("select possible sum(B) from I;")
+    print("possible sums:  ", sorted(row[0] for row in possible_sums.rows()))
+
+    # Tuple confidence (the conf operation).
+    confidences = db.execute("select conf, A, B, C from I;")
+    print("\ntuple confidences of I:")
+    for *row, conf in confidences.rows():
+        print(f"  {tuple(row)}  conf = {conf:.2f}")
+
+    # Example 2.10: confidence of a world-level condition.
+    conf = db.execute("select conf from I where 50 > (select sum(B) from I);")
+    print(f"\nconf(sum(B) < 50) = {conf.scalar():.4f}")
+
+    # Example 2.5: assert drops worlds and renormalises.
+    db.execute("create table J as select * from I "
+               "assert not exists(select * from I where C = 'c1');")
+    print(f"\nAfter the assert: {db.world_count()} worlds with probabilities",
+          [round(world.probability, 2) for world in db.world_set])
+
+    # Examples 2.6 / 2.9: choice-of and the certain quantifier.
+    certain_e = db.execute("select certain E from S choice of C;")
+    print("\ncertain E under choice of C:", certain_e.rows())
+
+
+if __name__ == "__main__":
+    main()

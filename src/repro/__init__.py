@@ -1,0 +1,78 @@
+"""MayBMS / I-SQL reproduction: query language support for incomplete information.
+
+This library is a from-scratch, pure-Python reproduction of the system
+demonstrated in *"Query language support for incomplete information in the
+MayBMS system"* (Antova, Koch, Olteanu - VLDB 2007).  It provides:
+
+* an in-memory relational engine (:mod:`repro.relational`),
+* an SQL / I-SQL parser (:mod:`repro.sqlparser`),
+* the explicit possible-worlds backend (:mod:`repro.worldset`),
+* world-set decompositions, the compact representation of the companion
+  papers (:mod:`repro.wsd`),
+* the I-SQL engine and the :class:`~repro.core.session.MayBMS` session
+  (:mod:`repro.core`),
+* the paper's datasets (:mod:`repro.datasets`), data-cleaning and
+  moving-object toolkits (:mod:`repro.cleaning`, :mod:`repro.tracking`) and
+  synthetic workload generators (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import MayBMS
+
+    db = MayBMS()
+    db.create_table("R", ["A", "B", "C", "D"])
+    db.insert("R", [("a1", 10, "c1", 2), ("a1", 15, "c2", 6)])
+    db.execute("create table I as select A, B, C from R repair by key A weight D;")
+    print(db.execute("select possible B from I;").pretty())
+"""
+
+from .core.results import StatementResult, WorldAnswer
+from .core.session import MayBMS
+from .errors import (
+    AnalysisError,
+    ConstraintViolationError,
+    ExecutionError,
+    ExpressionError,
+    ParseError,
+    ProbabilityError,
+    ReproError,
+    SchemaError,
+    UnknownColumnError,
+    UnknownRelationError,
+    UnsupportedFeatureError,
+    WorldSetError,
+)
+from .relational.catalog import Catalog
+from .relational.relation import Relation
+from .relational.schema import Column, Schema
+from .relational.types import SqlType
+from .worldset.world import World
+from .worldset.worldset import WorldSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "Catalog",
+    "Column",
+    "ConstraintViolationError",
+    "ExecutionError",
+    "ExpressionError",
+    "MayBMS",
+    "ParseError",
+    "ProbabilityError",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SqlType",
+    "StatementResult",
+    "UnknownColumnError",
+    "UnknownRelationError",
+    "UnsupportedFeatureError",
+    "World",
+    "WorldAnswer",
+    "WorldSet",
+    "WorldSetError",
+    "__version__",
+]

@@ -1,0 +1,113 @@
+"""A minimal interactive I-SQL shell.
+
+Run ``python -m repro`` (or the installed ``isql`` script) to get a prompt
+against a fresh MayBMS instance preloaded with the paper's Figure 1 database.
+Statements end with ``;``.  Meta commands start with a dot:
+
+``.worlds``          show the current world-set
+``.tables``          list tables and views
+``.load figure1``    reload the Figure 1 database (also: ``figure3``, ``figure5``)
+``.quit``            leave the shell
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .core.session import MayBMS
+from .datasets import cleaning_relation_r, figure1_database, figure3_whale_worlds
+from .errors import ReproError
+
+__all__ = ["main"]
+
+_BANNER = """\
+MayBMS / I-SQL reproduction shell.  Statements end with ';'.
+Meta commands: .worlds  .tables  .load figure1|figure3|figure5  .quit
+The Figure 1 database (relations R and S) is preloaded.
+"""
+
+
+def _load(name: str) -> MayBMS:
+    """Build a fresh session preloaded with one of the paper's datasets."""
+    if name == "figure1":
+        return MayBMS(figure1_database())
+    if name == "figure3":
+        db = MayBMS()
+        db.world_set = figure3_whale_worlds()
+        return db
+    if name == "figure5":
+        return MayBMS({"R": cleaning_relation_r()})
+    raise ReproError(f"unknown dataset {name!r}; try figure1, figure3 or figure5")
+
+
+def _handle_meta(command: str, db: MayBMS) -> MayBMS | None:
+    """Execute a meta command; return a new session when one was loaded."""
+    parts = command.strip().split()
+    if parts[0] in (".quit", ".exit"):
+        raise SystemExit(0)
+    if parts[0] == ".worlds":
+        print(db.describe(max_rows=20))
+        return None
+    if parts[0] == ".tables":
+        print("tables:", ", ".join(db.table_names()) or "(none)")
+        print("views: ", ", ".join(db.view_names()) or "(none)")
+        return None
+    if parts[0] == ".load" and len(parts) == 2:
+        fresh = _load(parts[1])
+        print(f"loaded dataset {parts[1]}")
+        return fresh
+    print(f"unknown meta command {command!r}")
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``isql`` shell."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    db = _load("figure1")
+    if argv:
+        # Non-interactive: treat the arguments as a single script.
+        script = " ".join(argv)
+        for result in db.execute_script(script):
+            print(result.pretty())
+        return 0
+    print(_BANNER)
+    buffer = ""
+    while True:
+        try:
+            prompt = "isql> " if not buffer else "  ...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        except KeyboardInterrupt:
+            print()
+            buffer = ""
+            continue
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not buffer and stripped.startswith("."):
+            try:
+                replacement = _handle_meta(stripped, db)
+            except SystemExit:
+                return 0
+            except ReproError as error:
+                print(f"error: {error}")
+                continue
+            if replacement is not None:
+                db = replacement
+            continue
+        buffer += (" " if buffer else "") + line
+        if not stripped.endswith(";"):
+            continue
+        statement, buffer = buffer, ""
+        try:
+            result = db.execute(statement)
+            print(result.pretty(max_rows=50))
+        except ReproError as error:
+            print(f"error: {error}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

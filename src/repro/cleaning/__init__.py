@@ -1,0 +1,20 @@
+"""Data cleaning with constraints and queries (Section 3.2 of the paper)."""
+
+from .pipeline import (
+    CleaningReport,
+    CleaningPipeline,
+    enforce_functional_dependency,
+    repair_key_step,
+    swap_candidates_sql,
+)
+from .swaps import build_swap_relation, swap_candidate_rows
+
+__all__ = [
+    "CleaningPipeline",
+    "CleaningReport",
+    "build_swap_relation",
+    "enforce_functional_dependency",
+    "repair_key_step",
+    "swap_candidate_rows",
+    "swap_candidates_sql",
+]

@@ -1,0 +1,146 @@
+"""Declarative cleaning pipelines built from I-SQL statements.
+
+Section 3.2 of the paper demonstrates cleaning as an *interplay of integrity
+constraint-based and query-based cleaning*: hypothesise possible readings with
+ordinary SQL, enumerate consistent repairs with ``repair by key``, and prune
+inconsistent worlds with ``assert``.  :class:`CleaningPipeline` packages that
+recipe so applications (and the benchmarks) can run it against any MayBMS
+session; the individual steps are also exposed as functions that emit the
+corresponding I-SQL text, which keeps the pipeline transparent and easy to
+audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.session import MayBMS
+from ..errors import ReproError
+
+__all__ = [
+    "swap_candidates_sql",
+    "repair_key_step",
+    "enforce_functional_dependency",
+    "CleaningReport",
+    "CleaningPipeline",
+]
+
+
+def swap_candidates_sql(source: str, target: str, first: str, second: str,
+                        suffix: str = "'") -> str:
+    """I-SQL building the swap-candidate table (the paper's table ``S``).
+
+    Emits the UNION query of Section 3.2: one branch keeps the columns as they
+    are, the other swaps them, both aliased to ``<col><suffix>``.
+    """
+    first_candidate = first + suffix
+    second_candidate = second + suffix
+    return (
+        f"create table {target} as "
+        f"select {first}, {second}, {first} as {first_candidate}, "
+        f"{second} as {second_candidate} from {source} "
+        f"union "
+        f"select {first}, {second}, {second} as {first_candidate}, "
+        f"{first} as {second_candidate} from {source};"
+    )
+
+
+def repair_key_step(source: str, target: str, key: Sequence[str],
+                    select_columns: Sequence[str] | None = None,
+                    weight: str | None = None) -> str:
+    """I-SQL enumerating the repairs of *source* on *key* into *target*."""
+    columns = ", ".join(select_columns) if select_columns else "*"
+    weight_clause = f" weight {weight}" if weight else ""
+    return (f"create table {target} as select {columns} from {source} "
+            f"repair by key {', '.join(key)}{weight_clause};")
+
+
+def enforce_functional_dependency(source: str, target: str,
+                                  determinant: str, dependent: str) -> str:
+    """I-SQL asserting the functional dependency ``determinant -> dependent``.
+
+    Worlds containing two tuples that agree on the determinant but differ on
+    the dependent are dropped — exactly the paper's ``U`` construction.
+    """
+    return (
+        f"create table {target} as select * from {source} assert not exists "
+        f"(select 'yes' from {source} t1, {source} t2 "
+        f"where t1.{determinant} = t2.{determinant} "
+        f"and t1.{dependent} <> t2.{dependent});"
+    )
+
+
+@dataclass
+class CleaningReport:
+    """What a cleaning pipeline did: statements run and world counts."""
+
+    statements: list[str] = field(default_factory=list)
+    world_counts: list[int] = field(default_factory=list)
+
+    def record(self, statement: str, world_count: int) -> None:
+        """Append one executed statement and the resulting world count."""
+        self.statements.append(statement)
+        self.world_counts.append(world_count)
+
+    @property
+    def final_world_count(self) -> int:
+        """Worlds remaining after the last step."""
+        if not self.world_counts:
+            raise ReproError("the pipeline has not run yet")
+        return self.world_counts[-1]
+
+    def summary(self) -> str:
+        """One line per step: the statement head and the world count after it."""
+        lines = []
+        for statement, count in zip(self.statements, self.world_counts):
+            head = statement.strip().split("\n")[0][:72]
+            lines.append(f"{count:>8} worlds | {head}")
+        return "\n".join(lines)
+
+
+class CleaningPipeline:
+    """A reusable swap / repair / FD-enforcement cleaning recipe.
+
+    Parameters mirror the paper's scenario: *source* is the dirty relation,
+    *first*/*second* the two possibly-confused columns, and the pipeline
+    produces three tables named by *candidate_table*, *repair_table* and
+    *clean_table* (the paper's ``S``, ``T`` and ``U``).
+    """
+
+    def __init__(self, source: str, first: str, second: str,
+                 candidate_table: str = "S", repair_table: str = "T",
+                 clean_table: str = "U", suffix: str = "'",
+                 weight: str | None = None) -> None:
+        self.source = source
+        self.first = first
+        self.second = second
+        self.candidate_table = candidate_table
+        self.repair_table = repair_table
+        self.clean_table = clean_table
+        self.suffix = suffix
+        self.weight = weight
+
+    def statements(self) -> list[str]:
+        """The three I-SQL statements the pipeline will execute, in order."""
+        first_candidate = self.first + self.suffix
+        second_candidate = self.second + self.suffix
+        return [
+            swap_candidates_sql(self.source, self.candidate_table,
+                                self.first, self.second, self.suffix),
+            repair_key_step(self.candidate_table, self.repair_table,
+                            key=[self.first, self.second],
+                            select_columns=[first_candidate, second_candidate],
+                            weight=self.weight),
+            enforce_functional_dependency(self.repair_table, self.clean_table,
+                                          determinant=first_candidate,
+                                          dependent=second_candidate),
+        ]
+
+    def run(self, db: MayBMS) -> CleaningReport:
+        """Execute the pipeline against *db* and return a report."""
+        report = CleaningReport()
+        for statement in self.statements():
+            db.execute(statement)
+            report.record(statement, db.world_count())
+        return report

@@ -1,0 +1,63 @@
+"""Swap-candidate generation for value-confusion cleaning.
+
+The paper's Section 3.2 cleans a relation whose two columns may have been
+swapped (social security numbers vs. phone numbers) by first *materialising
+the assumption*: for every record, both readings — original and swapped — are
+added to a candidate relation, which is then repaired on the record key.
+These helpers generalise that construction to any pair (or list of pairs) of
+possibly-confused columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SchemaError
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+
+__all__ = ["swap_candidate_rows", "build_swap_relation"]
+
+
+def swap_candidate_rows(row: tuple, first_index: int, second_index: int
+                        ) -> list[tuple]:
+    """Return the original and the swapped reading of *row*.
+
+    When the two cells hold the same value the swap is a no-op and only one
+    reading is returned.
+    """
+    original = tuple(row)
+    if original[first_index] == original[second_index]:
+        return [original]
+    swapped = list(original)
+    swapped[first_index], swapped[second_index] = (
+        swapped[second_index], swapped[first_index])
+    return [original, tuple(swapped)]
+
+
+def build_swap_relation(relation: Relation, first: str, second: str,
+                        name: str | None = None,
+                        suffix: str = "'") -> Relation:
+    """Build the swap-candidate relation of the paper's Figure 5.
+
+    The result keeps the original columns (they identify the source record and
+    serve as the repair key) and appends two candidate columns named after the
+    originals with *suffix* appended (``SSN'``, ``TEL'`` in the paper).  For
+    every input record it contains the unswapped and, when different, the
+    swapped reading.
+    """
+    first_index = relation.schema.index_of(first)
+    second_index = relation.schema.index_of(second)
+    base_columns = list(relation.schema.without_qualifiers().columns)
+    candidate_columns = [
+        Column(relation.schema[first_index].name + suffix,
+               relation.schema[first_index].type),
+        Column(relation.schema[second_index].name + suffix,
+               relation.schema[second_index].type),
+    ]
+    schema = Schema(base_columns + candidate_columns)
+    result = Relation(schema, [], name=name or "S")
+    for row in relation.rows:
+        for reading in swap_candidate_rows(row, first_index, second_index):
+            result.rows.append(row + (reading[first_index], reading[second_index]))
+    return result

@@ -1,0 +1,17 @@
+"""The I-SQL engine: planner, possible-worlds executor, session and results."""
+
+from .executor import Executor, WorldQueryResult
+from .planner import Planner, ResolvedFrom, plan_select
+from .results import StatementResult, WorldAnswer
+from .session import MayBMS
+
+__all__ = [
+    "Executor",
+    "MayBMS",
+    "Planner",
+    "ResolvedFrom",
+    "StatementResult",
+    "WorldAnswer",
+    "WorldQueryResult",
+    "plan_select",
+]

@@ -1,0 +1,133 @@
+"""Result objects returned by the I-SQL engine.
+
+Evaluating an I-SQL statement can produce qualitatively different things:
+
+* a *per-world* answer (one relation per possible world) for plain SELECTs —
+  the paper's Example 2.1, where the answer is not materialised and differs
+  from world to world;
+* a single *cross-world* relation for ``possible`` / ``certain`` / ``conf``
+  queries;
+* a *world-set change* for ``create table``, ``repair by key`` and ``assert``
+  used under ``create table as``, and for updates;
+* a plain acknowledgement for DDL.
+
+:class:`StatementResult` is the uniform wrapper the session returns;
+:class:`WorldAnswer` pairs one world with its answer relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..relational.relation import Relation
+from ..worldset.worldset import WorldSet
+
+__all__ = ["WorldAnswer", "StatementResult"]
+
+
+@dataclass
+class WorldAnswer:
+    """The answer of a query in one possible world."""
+
+    label: Optional[str]
+    probability: Optional[float]
+    relation: Relation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = "" if self.probability is None else f", p={self.probability:.4f}"
+        return f"WorldAnswer({self.label}{p}, {len(self.relation)} rows)"
+
+
+@dataclass
+class StatementResult:
+    """Uniform result wrapper for every executed statement.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"rows"`` (a single cross-world relation), ``"world_rows"``
+        (one relation per world), ``"command"`` (DDL / DML acknowledgement).
+    relation:
+        The collected relation for ``rows`` results (possible / certain /
+        conf / aggregated confidences).
+    world_answers:
+        The per-world answers for ``world_rows`` results.
+    message:
+        Human-readable acknowledgement for commands.
+    world_set:
+        The (derived) world-set the answers refer to.  For plain SELECTs this
+        is the transient world-set created by ``repair by key`` / ``choice
+        of`` / ``assert`` during the query; the session's own state is only
+        changed by DDL / DML statements.
+    rowcount:
+        Number of affected rows for DML, when applicable.
+    """
+
+    kind: str
+    relation: Optional[Relation] = None
+    world_answers: list[WorldAnswer] = field(default_factory=list)
+    message: str = ""
+    world_set: Optional[WorldSet] = None
+    rowcount: Optional[int] = None
+
+    # -- convenience accessors --------------------------------------------------------
+
+    def is_rows(self) -> bool:
+        """True for single-relation results."""
+        return self.kind == "rows"
+
+    def is_world_rows(self) -> bool:
+        """True for per-world results."""
+        return self.kind == "world_rows"
+
+    def rows(self) -> list[tuple]:
+        """The rows of a single-relation result."""
+        if self.relation is None:
+            raise ValueError("this result has no collected relation")
+        return list(self.relation.rows)
+
+    def scalar(self) -> object:
+        """The single value of a 1x1 result (e.g. a confidence)."""
+        rows = self.rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ValueError(
+                f"expected a 1x1 result, got {len(rows)} rows")
+        return rows[0][0]
+
+    def answers_by_label(self) -> dict[str, Relation]:
+        """Per-world answers keyed by world label."""
+        return {answer.label or str(index): answer.relation
+                for index, answer in enumerate(self.world_answers)}
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.is_rows():
+            return iter(self.relation.rows)  # type: ignore[union-attr]
+        return iter(row for answer in self.world_answers
+                    for row in answer.relation.rows)
+
+    # -- display -------------------------------------------------------------------------
+
+    def pretty(self, max_rows: int | None = None) -> str:
+        """Render the result for the REPL and the example scripts."""
+        if self.kind == "command":
+            return self.message or "OK"
+        if self.is_rows():
+            assert self.relation is not None
+            return self.relation.pretty(max_rows=max_rows)
+        blocks = []
+        for answer in self.world_answers:
+            header = f"-- world {answer.label}"
+            if answer.probability is not None:
+                header += f" (P = {answer.probability:.4f})"
+            blocks.append(header)
+            blocks.append(answer.relation.pretty(max_rows=max_rows))
+        return "\n".join(blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "command":
+            return f"StatementResult(command: {self.message})"
+        if self.is_rows():
+            count = len(self.relation) if self.relation is not None else 0
+            return f"StatementResult(rows: {count})"
+        return f"StatementResult(world_rows: {len(self.world_answers)} worlds)"

@@ -1,0 +1,31 @@
+"""Example datasets: the relations of the paper's figures plus helpers."""
+
+from .paper import (
+    cleaning_relation_r,
+    cleaning_swap_relation_s,
+    figure1_database,
+    figure1_relation_r,
+    figure1_relation_s,
+    figure2_expected_probabilities,
+    figure2_expected_worlds,
+    figure3_whale_worlds,
+    figure4_expected_groups,
+    figure6_expected_worlds,
+    figure7_expected_worlds,
+    whale_observation_relation,
+)
+
+__all__ = [
+    "cleaning_relation_r",
+    "cleaning_swap_relation_s",
+    "figure1_database",
+    "figure1_relation_r",
+    "figure1_relation_s",
+    "figure2_expected_probabilities",
+    "figure2_expected_worlds",
+    "figure3_whale_worlds",
+    "figure4_expected_groups",
+    "figure6_expected_worlds",
+    "figure7_expected_worlds",
+    "whale_observation_relation",
+]

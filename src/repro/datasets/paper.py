@@ -1,0 +1,228 @@
+"""The example data of the paper, reproduced verbatim.
+
+This module contains, as plain relations and world-sets:
+
+* **Figure 1** — the complete database of relations ``R`` and ``S``;
+* **Figure 2** — the four repairs of ``R`` on key ``A`` with their
+  probabilities (0.11, 0.33, 0.14, 0.42);
+* **Figure 3** — the whale-tracking relation ``I`` in six worlds;
+* **Figure 4** — the two expected instances of relation ``Groups``;
+* **Figure 5** — the social-security / phone-number relation ``R`` of the
+  data-cleaning scenario and its swap table ``S``;
+* **Figures 6 and 7** — the four repairs ``T`` and the three worlds ``U``
+  that survive the functional-dependency assert.
+
+Tests and benchmarks treat these as the ground truth to reproduce.
+"""
+
+from __future__ import annotations
+
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..relational.types import SqlType
+from ..worldset.world import World
+from ..worldset.worldset import WorldSet
+
+__all__ = [
+    "figure1_relation_r",
+    "figure1_relation_s",
+    "figure1_database",
+    "figure2_expected_worlds",
+    "figure2_expected_probabilities",
+    "whale_observation_relation",
+    "figure3_whale_worlds",
+    "figure4_expected_groups",
+    "cleaning_relation_r",
+    "cleaning_swap_relation_s",
+    "figure6_expected_worlds",
+    "figure7_expected_worlds",
+]
+
+
+# -- Figure 1: the complete database -----------------------------------------------------
+
+
+def figure1_relation_r() -> Relation:
+    """Relation ``R(A, B, C, D)`` of Figure 1."""
+    schema = Schema([
+        Column("A", SqlType.TEXT),
+        Column("B", SqlType.INTEGER),
+        Column("C", SqlType.TEXT),
+        Column("D", SqlType.INTEGER),
+    ])
+    rows = [
+        ("a1", 10, "c1", 2),
+        ("a1", 15, "c2", 6),
+        ("a2", 14, "c3", 4),
+        ("a2", 20, "c4", 5),
+        ("a3", 20, "c5", 6),
+    ]
+    return Relation(schema, rows, name="R")
+
+
+def figure1_relation_s() -> Relation:
+    """Relation ``S(C, E)`` of Figure 1."""
+    schema = Schema([Column("C", SqlType.TEXT), Column("E", SqlType.TEXT)])
+    rows = [("c2", "e1"), ("c4", "e1"), ("c4", "e2")]
+    return Relation(schema, rows, name="S")
+
+
+def figure1_database() -> Catalog:
+    """The complete database of Figure 1 as a catalog with ``R`` and ``S``."""
+    catalog = Catalog()
+    catalog.create("R", figure1_relation_r())
+    catalog.create("S", figure1_relation_s())
+    return catalog
+
+
+# -- Figure 2: the four repairs of R on key A ---------------------------------------------
+
+
+def _figure2_rows() -> dict[str, list[tuple]]:
+    return {
+        "A": [("a1", 10, "c1"), ("a2", 14, "c3"), ("a3", 20, "c5")],
+        "B": [("a1", 15, "c2"), ("a2", 14, "c3"), ("a3", 20, "c5")],
+        "C": [("a1", 10, "c1"), ("a2", 20, "c4"), ("a3", 20, "c5")],
+        "D": [("a1", 15, "c2"), ("a2", 20, "c4"), ("a3", 20, "c5")],
+    }
+
+
+def figure2_expected_probabilities() -> dict[str, float]:
+    """The exact world probabilities behind the rounded figures in the paper.
+
+    The paper prints P(A)=0.11, P(B)=0.33, P(C)=0.14 and P(D)=0.42, which are
+    the two-decimal roundings of 2/8*4/9, 6/8*4/9, 2/8*5/9 and 6/8*5/9
+    (the third factor 6/6 = 1 is omitted).
+    """
+    return {
+        "A": (2 / 8) * (4 / 9),
+        "B": (6 / 8) * (4 / 9),
+        "C": (2 / 8) * (5 / 9),
+        "D": (6 / 8) * (5 / 9),
+    }
+
+
+def figure2_expected_worlds() -> WorldSet:
+    """The world-set of Figure 2: relation ``I`` in four weighted worlds.
+
+    Each world also contains the complete relations ``R`` and ``S`` (the paper
+    notes that every world keeps the relations of the world it originated
+    from).
+    """
+    schema = Schema([
+        Column("A", SqlType.TEXT),
+        Column("B", SqlType.INTEGER),
+        Column("C", SqlType.TEXT),
+    ])
+    probabilities = figure2_expected_probabilities()
+    worlds = []
+    for label, rows in _figure2_rows().items():
+        catalog = figure1_database()
+        catalog.create("I", Relation(schema, rows, name="I"))
+        worlds.append(World(catalog, probabilities[label], label))
+    return WorldSet(worlds)
+
+
+# -- Figure 3: whale tracking -----------------------------------------------------------------
+
+
+def whale_observation_relation(rows: list[tuple]) -> Relation:
+    """Build one instance of the whale relation ``I(Id, Species, Gender, Pos)``."""
+    schema = Schema([
+        Column("Id", SqlType.INTEGER),
+        Column("Species", SqlType.TEXT),
+        Column("Gender", SqlType.TEXT),
+        Column("Pos", SqlType.TEXT),
+    ])
+    return Relation(schema, rows, name="I")
+
+
+def figure3_whale_worlds() -> WorldSet:
+    """The six whale-tracking worlds of Figure 3 (non-probabilistic)."""
+    instances = {
+        "A": [(1, "sperm", "calf", "b"), (2, "sperm", "cow", "c"),
+              (3, "orca", "cow", "a")],
+        "B": [(1, "sperm", "calf", "b"), (2, "sperm", "cow", "c"),
+              (3, "orca", "bull", "a")],
+        "C": [(1, "sperm", "calf", "b"), (2, "sperm", "bull", "c"),
+              (3, "orca", "cow", "a")],
+        "D": [(1, "sperm", "calf", "b"), (2, "sperm", "bull", "c"),
+              (3, "orca", "bull", "a")],
+        "E": [(1, "sperm", "calf", "c"), (2, "sperm", "cow", "b"),
+              (3, "orca", "cow", "a")],
+        "F": [(1, "sperm", "calf", "c"), (2, "sperm", "bull", "b"),
+              (3, "orca", "cow", "a")],
+    }
+    worlds = []
+    for label, rows in instances.items():
+        catalog = Catalog()
+        catalog.create("I", whale_observation_relation(rows))
+        worlds.append(World(catalog, None, label))
+    return WorldSet(worlds)
+
+
+def figure4_expected_groups() -> dict[str, Relation]:
+    """The two expected instances of relation ``Groups`` (Figure 4).
+
+    Keyed by the answer of the world-grouping subquery: position ``c`` for the
+    worlds A–D and position ``b`` for the worlds E and F.
+    """
+    schema = Schema([Column("G2", SqlType.TEXT), Column("G3", SqlType.TEXT)])
+    groups_a_to_d = Relation(schema, [
+        ("cow", "cow"), ("cow", "bull"), ("bull", "cow"), ("bull", "bull"),
+    ], name="Groups")
+    groups_e_f = Relation(schema, [("cow", "cow"), ("bull", "cow")],
+                          name="Groups")
+    return {"c": groups_a_to_d, "b": groups_e_f}
+
+
+# -- Figures 5-7: data cleaning ------------------------------------------------------------------
+
+
+def cleaning_relation_r() -> Relation:
+    """Relation ``R(SSN, TEL)`` of Figure 5."""
+    schema = Schema([Column("SSN", SqlType.INTEGER), Column("TEL", SqlType.INTEGER)])
+    return Relation(schema, [(123, 456), (789, 123)], name="R")
+
+
+def cleaning_swap_relation_s() -> Relation:
+    """Relation ``S(SSN, TEL, SSN', TEL')`` of Figure 5 (the swap candidates)."""
+    schema = Schema([
+        Column("SSN", SqlType.INTEGER),
+        Column("TEL", SqlType.INTEGER),
+        Column("SSN'", SqlType.INTEGER),
+        Column("TEL'", SqlType.INTEGER),
+    ])
+    rows = [
+        (123, 456, 123, 456),
+        (123, 456, 456, 123),
+        (789, 123, 789, 123),
+        (789, 123, 123, 789),
+    ]
+    return Relation(schema, rows, name="S")
+
+
+def _cleaning_schema() -> Schema:
+    return Schema([Column("SSN'", SqlType.INTEGER), Column("TEL'", SqlType.INTEGER)])
+
+
+def figure6_expected_worlds() -> dict[str, Relation]:
+    """The four possible readings ``T`` of Figure 6, keyed by world label."""
+    schema = _cleaning_schema()
+    return {
+        "A": Relation(schema, [(123, 456), (789, 123)], name="T"),
+        "B": Relation(schema, [(123, 456), (123, 789)], name="T"),
+        "C": Relation(schema, [(456, 123), (789, 123)], name="T"),
+        "D": Relation(schema, [(456, 123), (123, 789)], name="T"),
+    }
+
+
+def figure7_expected_worlds() -> dict[str, Relation]:
+    """The three worlds ``U`` of Figure 7 that satisfy SSN' -> TEL'."""
+    schema = _cleaning_schema()
+    return {
+        "A": Relation(schema, [(123, 456), (789, 123)], name="U"),
+        "C": Relation(schema, [(456, 123), (789, 123)], name="U"),
+        "D": Relation(schema, [(456, 123), (123, 789)], name="U"),
+    }

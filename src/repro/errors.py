@@ -1,0 +1,132 @@
+"""Exception hierarchy for the MayBMS / I-SQL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  More specific subclasses mirror the layers of the
+system: the relational substrate, the SQL/I-SQL front-end, the world-set
+backends, and the query engine itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised for duplicate column names, unknown columns, arity mismatches in
+    set operations, and similar structural problems.
+    """
+
+
+class TypeMismatchError(ReproError):
+    """A value does not conform to the declared SQL type of its column."""
+
+
+class UnknownColumnError(SchemaError):
+    """A column reference could not be resolved against any visible schema."""
+
+    def __init__(self, name: str, candidates: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.candidates = candidates
+        message = f"unknown column {name!r}"
+        if candidates:
+            message += " (visible columns: " + ", ".join(candidates) + ")"
+        super().__init__(message)
+
+
+class AmbiguousColumnError(SchemaError):
+    """A column reference matches more than one visible column."""
+
+    def __init__(self, name: str, matches: tuple[str, ...]) -> None:
+        self.name = name
+        self.matches = matches
+        super().__init__(
+            f"ambiguous column {name!r}: matches " + ", ".join(matches)
+        )
+
+
+class UnknownRelationError(ReproError):
+    """A relation (table or view) name is not present in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown relation {name!r}")
+
+
+class DuplicateRelationError(ReproError):
+    """A relation with the same name already exists in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"relation {name!r} already exists")
+
+
+class ExpressionError(ReproError):
+    """An expression cannot be evaluated (bad operands, unknown function...)."""
+
+
+class AggregateError(ExpressionError):
+    """Misuse of an aggregate function (nesting, unknown aggregate, ...)."""
+
+
+class ConstraintViolationError(ReproError):
+    """An integrity constraint (key, functional dependency) is violated."""
+
+
+class ParseError(ReproError):
+    """The SQL / I-SQL text could not be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position of the offending token in the input text, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+
+
+class LexerError(ParseError):
+    """The input text contains characters that cannot be tokenised."""
+
+
+class AnalysisError(ReproError):
+    """The query parsed but is semantically invalid (binding, typing...)."""
+
+
+class PlanningError(ReproError):
+    """The analysed query could not be turned into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a plan."""
+
+
+class WorldSetError(ReproError):
+    """Invalid operation on a world-set (empty set, bad probabilities...)."""
+
+
+class ProbabilityError(WorldSetError):
+    """Probabilities are negative, do not normalise, or weights are invalid."""
+
+
+class DecompositionError(ReproError):
+    """Invalid operation on a world-set decomposition."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """The requested SQL / I-SQL feature is recognised but not implemented."""

@@ -1,0 +1,112 @@
+"""CSV import and export for relations.
+
+The loaders infer column types from the data unless a schema is given, so the
+example scripts can ship small CSV fixtures and the workload generators can
+spill large synthetic relations to disk for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Column, Schema
+from .types import SqlType
+
+__all__ = ["read_csv", "write_csv", "relation_from_csv_text", "relation_to_csv_text"]
+
+
+def _parse_cell(text: str) -> object:
+    """Parse a CSV cell: empty string is NULL, then int, float, bool, text."""
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _infer_schema(header: Sequence[str], rows: list[list[object]]) -> Schema:
+    """Infer a schema from parsed rows: a column is typed by its non-NULL values."""
+    columns = []
+    for index, name in enumerate(header):
+        seen_types = {type(row[index]) for row in rows
+                      if index < len(row) and row[index] is not None}
+        if seen_types <= {int}:
+            sql_type = SqlType.INTEGER
+        elif seen_types <= {int, float}:
+            sql_type = SqlType.REAL
+        elif seen_types <= {bool}:
+            sql_type = SqlType.BOOLEAN
+        elif seen_types <= {str}:
+            sql_type = SqlType.TEXT
+        else:
+            sql_type = SqlType.ANY
+        columns.append(Column(name, sql_type))
+    return Schema(columns)
+
+
+def relation_from_csv_text(text: str, name: str | None = None,
+                           schema: Schema | None = None) -> Relation:
+    """Build a relation from CSV *text* whose first line is the header."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise SchemaError("CSV input is empty: no header row") from exc
+    parsed_rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    if schema is None:
+        schema = _infer_schema(header, parsed_rows)
+    elif len(schema) != len(header):
+        raise SchemaError(
+            f"CSV header has {len(header)} columns but schema has {len(schema)}")
+    return Relation(schema, parsed_rows, name=name)
+
+
+def read_csv(path: str | Path, name: str | None = None,
+             schema: Schema | None = None) -> Relation:
+    """Read a relation from the CSV file at *path*."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    return relation_from_csv_text(text, name=name or path.stem, schema=schema)
+
+
+def relation_to_csv_text(relation: Relation) -> str:
+    """Render *relation* as CSV text with a header row; NULL becomes empty."""
+    output = io.StringIO()
+    writer = csv.writer(output, lineterminator="\n")
+    writer.writerow(relation.schema.names())
+    for row in relation.rows:
+        writer.writerow(["" if value is None else value for value in row])
+    return output.getvalue()
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write *relation* to the CSV file at *path*."""
+    Path(path).write_text(relation_to_csv_text(relation), encoding="utf-8")
+
+
+def write_many_csv(relations: Iterable[Relation], directory: str | Path) -> list[Path]:
+    """Write several named relations to ``<directory>/<name>.csv`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for relation in relations:
+        if not relation.name:
+            raise SchemaError("write_many_csv requires named relations")
+        target = directory / f"{relation.name}.csv"
+        write_csv(relation, target)
+        written.append(target)
+    return written

@@ -1,0 +1,362 @@
+"""In-memory relations with bag semantics and the classic relational operations.
+
+A :class:`Relation` is a schema plus an ordered list of tuples.  Relations are
+treated as immutable by the query engine: every operation returns a new
+relation.  (Mutating helpers such as :meth:`Relation.insert` exist for the DML
+layer and for building test fixtures; they mutate in place and are documented
+as doing so.)
+
+Bag semantics is the default, matching SQL; :meth:`Relation.distinct` removes
+duplicates.  Equality of relations can be checked under bag or set semantics,
+which the world-set layer uses when comparing possible worlds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import SchemaError, TypeMismatchError
+from .schema import Column, Schema
+from .types import SqlType, coerce_value, ordering_key
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named or anonymous relation: a :class:`Schema` and a list of tuples."""
+
+    __slots__ = ("schema", "rows", "name")
+
+    def __init__(self, schema: Schema | Sequence[Column | str],
+                 rows: Iterable[Sequence[Any]] = (),
+                 name: str | None = None,
+                 coerce: bool = True) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.name = name
+        self.rows: list[tuple] = []
+        for row in rows:
+            self.rows.append(self._prepare_row(row, coerce=coerce))
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, schema: Schema | Sequence[Column | str],
+                   records: Iterable[dict[str, Any]],
+                   name: str | None = None) -> "Relation":
+        """Build a relation from dictionaries keyed by column name."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        rows = []
+        for record in records:
+            rows.append(tuple(record.get(column.name) for column in schema))
+        return cls(schema, rows, name=name)
+
+    def _prepare_row(self, row: Sequence[Any], coerce: bool = True) -> tuple:
+        values = tuple(row)
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"row has {len(values)} values but schema has "
+                f"{len(self.schema)} columns: {values!r}")
+        if not coerce:
+            return values
+        coerced = []
+        for value, column in zip(values, self.schema):
+            try:
+                coerced.append(coerce_value(value, column.type))
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {column.qualified_name()!r}: {exc}") from exc
+        return tuple(coerced)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        # A relation with no rows is still a valid object; truthiness follows
+        # "has rows", which is what the engine's emptiness checks expect.
+        return bool(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "<anonymous>"
+        return f"Relation({label}, {len(self.schema)} cols, {len(self.rows)} rows)"
+
+    # -- equality under bag and set semantics --------------------------------------
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """True when both relations contain the same tuples with equal counts."""
+        if len(self.schema) != len(other.schema):
+            return False
+        return Counter(self.rows) == Counter(other.rows)
+
+    def set_equal(self, other: "Relation") -> bool:
+        """True when both relations contain the same set of tuples."""
+        if len(self.schema) != len(other.schema):
+            return False
+        return set(self.rows) == set(other.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema.names() == other.schema.names() and self.bag_equal(other)
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.schema.names()), tuple(sorted(
+            self.rows, key=lambda row: tuple(ordering_key(v) for v in row)))))
+
+    def fingerprint(self) -> tuple:
+        """A hashable canonical form (sorted rows); used by world-set grouping."""
+        return tuple(sorted(self.rows, key=lambda row: tuple(
+            ordering_key(value) for value in row)))
+
+    # -- mutation (DML layer only) --------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append *row* (coerced to the schema) in place."""
+        self.rows.append(self._prepare_row(row))
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete rows satisfying *predicate* in place; return the count removed."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        self.rows = kept
+        return removed
+
+    def update_where(self, predicate: Callable[[tuple], bool],
+                     updater: Callable[[tuple], Sequence[Any]]) -> int:
+        """Replace rows satisfying *predicate* using *updater*; return the count."""
+        changed = 0
+        new_rows = []
+        for row in self.rows:
+            if predicate(row):
+                new_rows.append(self._prepare_row(updater(row)))
+                changed += 1
+            else:
+                new_rows.append(row)
+        self.rows = new_rows
+        return changed
+
+    # -- core relational operations -------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Relation":
+        """Return a shallow copy (rows are immutable tuples, so this is safe)."""
+        clone = Relation(self.schema, [], name=name or self.name)
+        clone.rows = list(self.rows)
+        return clone
+
+    def with_name(self, name: str | None) -> "Relation":
+        """Return a copy of this relation carrying *name* and qualified columns."""
+        renamed = Relation(self.schema.with_qualifier(name), [], name=name)
+        renamed.rows = list(self.rows)
+        return renamed
+
+    def with_schema(self, schema: Schema) -> "Relation":
+        """Return a copy with *schema* (must have the same arity)."""
+        if len(schema) != len(self.schema):
+            raise SchemaError("replacement schema has a different arity")
+        clone = Relation(schema, [], name=self.name, coerce=False)
+        clone.rows = list(self.rows)
+        return clone
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "Relation":
+        """Return the rows for which *predicate* returns a truthy value."""
+        result = Relation(self.schema, [], name=None, coerce=False)
+        result.rows = [row for row in self.rows if predicate(row)]
+        return result
+
+    def project(self, indexes: Sequence[int]) -> "Relation":
+        """Project onto the columns at *indexes* (bag semantics: keeps duplicates)."""
+        schema = self.schema.project(indexes)
+        result = Relation(schema, [], coerce=False)
+        result.rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return result
+
+    def project_columns(self, names: Sequence[str]) -> "Relation":
+        """Project onto the columns named *names* (in the given order)."""
+        indexes = [self.schema.index_of(name) for name in names]
+        return self.project(indexes)
+
+    def extend(self, column: Column,
+               compute: Callable[[tuple], Any]) -> "Relation":
+        """Return a relation with an extra column computed from each row."""
+        schema = Schema(list(self.schema.columns) + [column])
+        result = Relation(schema, [], coerce=False)
+        result.rows = [row + (compute(row),) for row in self.rows]
+        return result
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate rows, keeping first occurrences in order."""
+        seen: set[tuple] = set()
+        result = Relation(self.schema, [], coerce=False)
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                result.rows.append(row)
+        return result
+
+    def cross_join(self, other: "Relation") -> "Relation":
+        """Cartesian product; schemas are concatenated."""
+        schema = self.schema.concat(other.schema)
+        result = Relation(schema, [], coerce=False)
+        result.rows = [left + right for left in self.rows for right in other.rows]
+        return result
+
+    def join(self, other: "Relation",
+             predicate: Callable[[tuple], bool]) -> "Relation":
+        """Theta join: cartesian product filtered by *predicate* on joined rows."""
+        return self.cross_join(other).select(predicate)
+
+    def equi_join(self, other: "Relation",
+                  left_columns: Sequence[str],
+                  right_columns: Sequence[str]) -> "Relation":
+        """Hash-based equi-join on the given column lists."""
+        if len(left_columns) != len(right_columns):
+            raise SchemaError("equi-join requires equally many columns per side")
+        left_indexes = [self.schema.index_of(name) for name in left_columns]
+        right_indexes = [other.schema.index_of(name) for name in right_columns]
+        index: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_indexes)
+            if any(value is None for value in key):
+                continue  # NULL never joins.
+            index.setdefault(key, []).append(row)
+        schema = self.schema.concat(other.schema)
+        result = Relation(schema, [], coerce=False)
+        for row in self.rows:
+            key = tuple(row[i] for i in left_indexes)
+            if any(value is None for value in key):
+                continue
+            for match in index.get(key, ()):
+                result.rows.append(row + match)
+        return result
+
+    def union(self, other: "Relation", distinct: bool = True) -> "Relation":
+        """Bag or set union; the result uses this relation's schema."""
+        self.schema.require_union_compatible(other.schema)
+        result = Relation(self.schema, [], coerce=False)
+        result.rows = list(self.rows) + list(other.rows)
+        return result.distinct() if distinct else result
+
+    def intersect(self, other: "Relation", distinct: bool = True) -> "Relation":
+        """Bag or set intersection; the result uses this relation's schema."""
+        self.schema.require_union_compatible(other.schema)
+        result = Relation(self.schema, [], coerce=False)
+        if distinct:
+            other_set = set(other.rows)
+            seen: set[tuple] = set()
+            for row in self.rows:
+                if row in other_set and row not in seen:
+                    seen.add(row)
+                    result.rows.append(row)
+        else:
+            counts = Counter(other.rows)
+            for row in self.rows:
+                if counts[row] > 0:
+                    counts[row] -= 1
+                    result.rows.append(row)
+        return result
+
+    def difference(self, other: "Relation", distinct: bool = True) -> "Relation":
+        """Bag or set difference (``EXCEPT``)."""
+        self.schema.require_union_compatible(other.schema)
+        result = Relation(self.schema, [], coerce=False)
+        if distinct:
+            other_set = set(other.rows)
+            seen: set[tuple] = set()
+            for row in self.rows:
+                if row not in other_set and row not in seen:
+                    seen.add(row)
+                    result.rows.append(row)
+        else:
+            counts = Counter(other.rows)
+            for row in self.rows:
+                if counts[row] > 0:
+                    counts[row] -= 1
+                else:
+                    result.rows.append(row)
+        return result
+
+    def order_by(self, keys: Sequence[tuple[int, bool]]) -> "Relation":
+        """Sort by a list of ``(column index, descending)`` pairs.
+
+        NULLs sort first in ascending order (last in descending), and mixed
+        value types get a deterministic order via :func:`ordering_key`.
+        """
+        result = Relation(self.schema, [], coerce=False)
+        rows = list(self.rows)
+        for index, descending in reversed(list(keys)):
+            rows.sort(key=lambda row: ordering_key(row[index]),
+                      reverse=descending)
+        result.rows = rows
+        return result
+
+    def limit(self, count: int | None, offset: int = 0) -> "Relation":
+        """Return at most *count* rows starting at *offset*."""
+        result = Relation(self.schema, [], coerce=False)
+        end = None if count is None else offset + count
+        result.rows = self.rows[offset:end]
+        return result
+
+    def group_by(self, key_indexes: Sequence[int]) -> dict[tuple, list[tuple]]:
+        """Group rows by the values at *key_indexes*; preserves encounter order."""
+        groups: dict[tuple, list[tuple]] = {}
+        for row in self.rows:
+            key = tuple(row[i] for i in key_indexes)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    def column_values(self, name: str, qualifier: str | None = None) -> list[Any]:
+        """Return the list of values in the named column, in row order."""
+        index = self.schema.index_of(name, qualifier)
+        return [row[index] for row in self.rows]
+
+    def contains(self, row: Sequence[Any]) -> bool:
+        """Membership test for a tuple (no coercion applied)."""
+        return tuple(row) in set(self.rows)
+
+    def rename_columns(self, names: Sequence[str]) -> "Relation":
+        """Return a copy whose columns are renamed to *names*."""
+        return self.with_schema(self.schema.rename(names))
+
+    # -- display --------------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return the rows as dictionaries keyed by unqualified column name."""
+        names = self.schema.names()
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def pretty(self, max_rows: int | None = None) -> str:
+        """Return an ASCII-art table rendering of the relation."""
+        from .types import format_value
+
+        names = self.schema.names()
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        rendered = [[format_value(value) for value in row] for row in rows]
+        widths = [len(name) for name in names]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        separator = "-+-".join("-" * width for width in widths)
+        lines.append(header)
+        lines.append(separator)
+        for row in rendered:
+            lines.append(" | ".join(cell.ljust(widths[i])
+                                    for i, cell in enumerate(row)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def empty(schema: Schema | Sequence[Column | str],
+              name: str | None = None) -> "Relation":
+        """Return an empty relation with the given schema."""
+        return Relation(schema, [], name=name)

@@ -1,0 +1,129 @@
+"""Import and export between the in-memory engine and SQLite databases.
+
+The original MayBMS is an extension of PostgreSQL; this reproduction keeps the
+whole engine in memory but offers an SQLite bridge (standard library
+``sqlite3``) so complete relations can be loaded from and persisted to a real
+on-disk database, and so external tools can inspect the results.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import SchemaError, UnknownRelationError
+from .catalog import Catalog
+from .relation import Relation
+from .schema import Column, Schema
+from .types import SqlType
+
+__all__ = [
+    "sqlite_type_name",
+    "relation_to_sqlite",
+    "relation_from_sqlite",
+    "catalog_to_sqlite",
+    "catalog_from_sqlite",
+]
+
+_TYPE_TO_SQLITE = {
+    SqlType.INTEGER: "INTEGER",
+    SqlType.REAL: "REAL",
+    SqlType.TEXT: "TEXT",
+    SqlType.BOOLEAN: "INTEGER",
+    SqlType.ANY: "",
+}
+
+_SQLITE_TO_TYPE = {
+    "INTEGER": SqlType.INTEGER,
+    "INT": SqlType.INTEGER,
+    "BIGINT": SqlType.INTEGER,
+    "REAL": SqlType.REAL,
+    "FLOAT": SqlType.REAL,
+    "DOUBLE": SqlType.REAL,
+    "NUMERIC": SqlType.REAL,
+    "TEXT": SqlType.TEXT,
+    "VARCHAR": SqlType.TEXT,
+    "CHAR": SqlType.TEXT,
+    "": SqlType.ANY,
+}
+
+
+def sqlite_type_name(sql_type: SqlType) -> str:
+    """Return the SQLite column affinity used to store *sql_type*."""
+    return _TYPE_TO_SQLITE[sql_type]
+
+
+def _quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def relation_to_sqlite(relation: Relation, connection: sqlite3.Connection,
+                       table_name: str | None = None,
+                       replace: bool = True) -> str:
+    """Write *relation* into *connection* as a table; return the table name."""
+    name = table_name or relation.name
+    if not name:
+        raise SchemaError("relation_to_sqlite requires a table name")
+    quoted = _quote_identifier(name)
+    if replace:
+        connection.execute(f"DROP TABLE IF EXISTS {quoted}")
+    column_defs = ", ".join(
+        f"{_quote_identifier(column.name)} {sqlite_type_name(column.type)}".strip()
+        for column in relation.schema)
+    connection.execute(f"CREATE TABLE {quoted} ({column_defs})")
+    placeholders = ", ".join("?" for _ in relation.schema)
+    prepared_rows = [
+        tuple(int(value) if isinstance(value, bool) else value for value in row)
+        for row in relation.rows
+    ]
+    connection.executemany(
+        f"INSERT INTO {quoted} VALUES ({placeholders})", prepared_rows)
+    connection.commit()
+    return name
+
+
+def relation_from_sqlite(connection: sqlite3.Connection, table_name: str,
+                         name: str | None = None) -> Relation:
+    """Read the SQLite table *table_name* into an in-memory relation."""
+    quoted = _quote_identifier(table_name)
+    cursor = connection.execute(f"PRAGMA table_info({quoted})")
+    columns_info = cursor.fetchall()
+    if not columns_info:
+        raise UnknownRelationError(table_name)
+    columns = []
+    for _, column_name, declared, *_rest in columns_info:
+        base = (declared or "").split("(")[0].strip().upper()
+        columns.append(Column(column_name, _SQLITE_TO_TYPE.get(base, SqlType.ANY)))
+    schema = Schema(columns)
+    rows = connection.execute(f"SELECT * FROM {quoted}").fetchall()
+    return Relation(schema, rows, name=name or table_name)
+
+
+def catalog_to_sqlite(catalog: Catalog, path: str | Path) -> list[str]:
+    """Persist every relation of *catalog* into the SQLite database at *path*."""
+    written = []
+    with sqlite3.connect(str(path)) as connection:
+        for name in catalog.names():
+            relation = catalog.get(name)
+            written.append(relation_to_sqlite(relation, connection, table_name=name))
+    return written
+
+
+def catalog_from_sqlite(path: str | Path,
+                        tables: Iterable[str] | None = None) -> Catalog:
+    """Load a catalog from the SQLite database at *path*.
+
+    When *tables* is None every user table in the database is loaded.
+    """
+    catalog = Catalog()
+    with sqlite3.connect(str(path)) as connection:
+        if tables is None:
+            cursor = connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%' ORDER BY name")
+            tables = [row[0] for row in cursor.fetchall()]
+        for table_name in tables:
+            catalog.create(table_name,
+                           relation_from_sqlite(connection, table_name))
+    return catalog

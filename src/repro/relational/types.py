@@ -1,0 +1,294 @@
+"""SQL value types and three-valued-logic helpers for the relational substrate.
+
+The engine stores values as plain Python objects (``int``, ``float``, ``str``,
+``bool`` and ``None`` for SQL NULL).  This module defines the declared SQL
+types, coercion between Python values and declared types, comparison with SQL
+NULL semantics, and the three-valued logic used by predicates.
+
+Three-valued logic is represented with ``True``, ``False`` and ``None``
+(unknown), matching SQL's treatment of NULL in boolean contexts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from ..errors import TypeMismatchError
+
+__all__ = [
+    "SqlType",
+    "SQL_NULL",
+    "coerce_value",
+    "infer_type",
+    "is_null",
+    "sql_equal",
+    "sql_compare",
+    "three_valued_and",
+    "three_valued_or",
+    "three_valued_not",
+    "format_value",
+]
+
+#: Canonical representation of SQL NULL.
+SQL_NULL = None
+
+
+class SqlType(enum.Enum):
+    """Declared SQL types supported by the relational substrate.
+
+    ``ANY`` is used for columns whose type is not declared (for example the
+    result of ``SELECT 'yes'``) and accepts every value.
+    """
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    ANY = "any"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        """Return the type named *name* (case-insensitive, SQL synonyms ok).
+
+        >>> SqlType.from_name("VARCHAR")
+        <SqlType.TEXT: 'text'>
+        """
+        normalized = name.strip().lower()
+        synonyms = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "real": cls.REAL,
+            "float": cls.REAL,
+            "double": cls.REAL,
+            "double precision": cls.REAL,
+            "numeric": cls.REAL,
+            "decimal": cls.REAL,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "char": cls.TEXT,
+            "string": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+            "any": cls.ANY,
+        }
+        if normalized not in synonyms:
+            raise TypeMismatchError(f"unknown SQL type {name!r}")
+        return synonyms[normalized]
+
+
+def is_null(value: Any) -> bool:
+    """Return True if *value* is SQL NULL."""
+    return value is None
+
+
+def infer_type(value: Any) -> SqlType:
+    """Infer the :class:`SqlType` of a Python value.
+
+    NULL values infer ``ANY`` because they carry no type information.
+    """
+    if value is None:
+        return SqlType.ANY
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.TEXT
+    raise TypeMismatchError(f"unsupported Python value {value!r} of type "
+                            f"{type(value).__name__}")
+
+
+def coerce_value(value: Any, declared: SqlType) -> Any:
+    """Coerce *value* to the declared SQL type, or raise.
+
+    NULL is a member of every type and passes through unchanged.  Numeric
+    widening (int -> float) is performed silently; narrowing (float -> int) is
+    only performed when it loses no information.  Strings are parsed for
+    numeric and boolean targets, mirroring the lenient behaviour of SQLite,
+    which keeps CSV ingestion practical.
+    """
+    if value is None:
+        return None
+    if declared is SqlType.ANY:
+        # Still validate that the value is a supported Python type.
+        infer_type(value)
+        return value
+    if declared is SqlType.INTEGER:
+        return _coerce_integer(value)
+    if declared is SqlType.REAL:
+        return _coerce_real(value)
+    if declared is SqlType.TEXT:
+        return _coerce_text(value)
+    if declared is SqlType.BOOLEAN:
+        return _coerce_boolean(value)
+    raise TypeMismatchError(f"unknown declared type {declared!r}")
+
+
+def _coerce_integer(value: Any) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value) and float(int(value)) == value:
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in an INTEGER column")
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError as exc:
+            raise TypeMismatchError(
+                f"cannot parse {value!r} as INTEGER") from exc
+    raise TypeMismatchError(f"cannot store {value!r} in an INTEGER column")
+
+
+def _coerce_real(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError as exc:
+            raise TypeMismatchError(f"cannot parse {value!r} as REAL") from exc
+    raise TypeMismatchError(f"cannot store {value!r} in a REAL column")
+
+
+def _coerce_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return format_value(value)
+    raise TypeMismatchError(f"cannot store {value!r} in a TEXT column")
+
+
+_BOOLEAN_STRINGS = {
+    "true": True, "t": True, "yes": True, "y": True, "1": True,
+    "false": False, "f": False, "no": False, "n": False, "0": False,
+}
+
+
+def _coerce_boolean(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in _BOOLEAN_STRINGS:
+            return _BOOLEAN_STRINGS[key]
+    raise TypeMismatchError(f"cannot parse {value!r} as BOOLEAN")
+
+
+def sql_equal(left: Any, right: Any) -> bool | None:
+    """SQL equality: NULL = anything is unknown (None)."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return left == right
+        # bool vs. number: compare numerically like SQLite does.
+        return float(left) == float(right) if _both_numeric(left, right) else False
+    if _both_numeric(left, right):
+        return float(left) == float(right)
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    # Heterogeneous comparison (e.g. 1 = 'a') is false, never an error,
+    # which matches the permissive behaviour of SQLite.
+    return False
+
+
+def sql_compare(left: Any, right: Any) -> int | None:
+    """Three-valued comparison: -1, 0, 1, or None when either side is NULL.
+
+    Heterogeneous comparisons order numbers before strings before booleans,
+    giving a deterministic total order for ORDER BY while still flagging NULL
+    as unknown for predicates.
+    """
+    if left is None or right is None:
+        return None
+    lrank, lkey = _ordering_key(left)
+    rrank, rkey = _ordering_key(right)
+    if lrank != rrank:
+        return -1 if lrank < rrank else 1
+    if lkey < rkey:
+        return -1
+    if lkey > rkey:
+        return 1
+    return 0
+
+
+def _both_numeric(left: Any, right: Any) -> bool:
+    return isinstance(left, (int, float)) and isinstance(right, (int, float))
+
+
+def _ordering_key(value: Any) -> tuple[int, Any]:
+    """Rank values into comparable groups: numbers < text < booleans."""
+    if isinstance(value, bool):
+        return (2, value)
+    if isinstance(value, (int, float)):
+        return (0, float(value))
+    if isinstance(value, str):
+        return (1, value)
+    raise TypeMismatchError(f"cannot order value {value!r}")
+
+
+def ordering_key(value: Any) -> tuple[int, Any]:
+    """Public helper: a sort key that handles NULL (sorted first) and mixed types."""
+    if value is None:
+        return (-1, 0)
+    return _ordering_key(value)
+
+
+def three_valued_and(left: bool | None, right: bool | None) -> bool | None:
+    """SQL AND over three-valued logic."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def three_valued_or(left: bool | None, right: bool | None) -> bool | None:
+    """SQL OR over three-valued logic."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def three_valued_not(value: bool | None) -> bool | None:
+    """SQL NOT over three-valued logic."""
+    if value is None:
+        return None
+    return not value
+
+
+def format_value(value: Any) -> str:
+    """Render a value the way the pretty-printers and CSV writer expect.
+
+    Integers print without a decimal point, floats drop a trailing ``.0``
+    when they are integral, NULL prints as the string ``NULL``.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isfinite(value) and value == int(value):
+            return str(int(value))
+        return repr(value)
+    return str(value)

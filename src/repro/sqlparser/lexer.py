@@ -1,0 +1,209 @@
+"""Hand-written lexer for SQL / I-SQL text.
+
+The lexer produces a flat list of :class:`Token` objects with line/column
+positions so parse errors can point at the offending place in the query text.
+It understands:
+
+* identifiers (including ``"quoted"`` identifiers and trailing apostrophes as
+  used by the paper's ``Valid'`` view and ``SSN'`` columns),
+* single-quoted string literals with ``''`` escaping,
+* integer and floating-point number literals,
+* the operator set used by SQL expressions,
+* ``--`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexerError
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["Lexer", "tokenize"]
+
+_SINGLE_CHAR_TOKENS = {
+    ",": TokenType.COMMA,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ";": TokenType.SEMICOLON,
+    ".": TokenType.DOT,
+}
+
+_OPERATOR_STARTS = "=<>!+-*/%|"
+
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "||", "=="}
+
+
+class Lexer:
+    """Tokenise a SQL / I-SQL string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.text[self.position:self.position + count]
+        for char in consumed:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return consumed
+
+    def _at_end(self) -> bool:
+        return self.position >= len(self.text)
+
+    # -- tokenisation ---------------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Return the full token stream, ending with an EOF token."""
+        result: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._at_end():
+                result.append(Token(TokenType.EOF, "", self.line, self.column))
+                return result
+            result.append(self._next_token())
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self._at_end():
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while not self._at_end():
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexerError("unterminated block comment",
+                                     self.line, self.column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char == "'":
+            return self._string_literal(line, column)
+        if char == '"':
+            return self._quoted_identifier(line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._number_literal(line, column)
+        if char.isalpha() or char == "_":
+            return self._identifier_or_keyword(line, column)
+        if char == "*":
+            self._advance()
+            return Token(TokenType.STAR, "*", line, column)
+        if char in _SINGLE_CHAR_TOKENS:
+            self._advance()
+            return Token(_SINGLE_CHAR_TOKENS[char], char, line, column)
+        if char in _OPERATOR_STARTS:
+            two = char + self._peek(1)
+            if two in _TWO_CHAR_OPERATORS:
+                self._advance(2)
+                return Token(TokenType.OPERATOR, two, line, column)
+            self._advance()
+            return Token(TokenType.OPERATOR, char, line, column)
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _string_literal(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        pieces: list[str] = []
+        while True:
+            if self._at_end():
+                raise LexerError("unterminated string literal", line, column)
+            char = self._advance()
+            if char == "'":
+                if self._peek() == "'":  # escaped quote
+                    pieces.append("'")
+                    self._advance()
+                    continue
+                break
+            pieces.append(char)
+        value = "".join(pieces)
+        return Token(TokenType.STRING, value, line, column, value=value)
+
+    def _quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        pieces: list[str] = []
+        while True:
+            if self._at_end():
+                raise LexerError("unterminated quoted identifier", line, column)
+            char = self._advance()
+            if char == '"':
+                if self._peek() == '"':
+                    pieces.append('"')
+                    self._advance()
+                    continue
+                break
+            pieces.append(char)
+        name = "".join(pieces)
+        return Token(TokenType.IDENTIFIER, name, line, column, value=name)
+
+    def _number_literal(self, line: int, column: int) -> Token:
+        start = self.position
+        saw_dot = False
+        saw_exponent = False
+        while not self._at_end():
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not saw_dot and not saw_exponent:
+                saw_dot = True
+                self._advance()
+            elif char in "eE" and not saw_exponent and self.position > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    saw_exponent = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self.text[start:self.position]
+        value: int | float
+        if saw_dot or saw_exponent:
+            value = float(text)
+        else:
+            value = int(text)
+        return Token(TokenType.NUMBER, text, line, column, value=value)
+
+    def _identifier_or_keyword(self, line: int, column: int) -> Token:
+        start = self.position
+        while not self._at_end():
+            char = self._peek()
+            if char.isalnum() or char == "_":
+                self._advance()
+            elif char == "'" and self._peek(1) != "'":
+                # A trailing apostrophe is part of the identifier, as in the
+                # paper's Valid', SSN' and TEL' names.  A doubled apostrophe
+                # would start a string literal and is left alone.
+                self._advance()
+            else:
+                break
+        text = self.text[start:self.position]
+        lowered = text.lower().rstrip("'")
+        if lowered in KEYWORDS and not text.endswith("'"):
+            return Token(TokenType.KEYWORD, text, line, column, value=lowered)
+        return Token(TokenType.IDENTIFIER, text, line, column, value=text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise *text* and return the token list (ending with EOF)."""
+    return Lexer(text).tokens()

@@ -1,0 +1,65 @@
+"""Token definitions for the SQL / I-SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Kinds of lexical tokens produced by :class:`repro.sqlparser.lexer.Lexer`."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    SEMICOLON = ";"
+    STAR = "*"
+    EOF = "eof"
+
+
+#: Reserved words.  I-SQL adds POSSIBLE, CERTAIN, CONF, REPAIR, CHOICE,
+#: ASSERT, WORLDS and WEIGHT to the usual SQL vocabulary.
+KEYWORDS = frozenset({
+    # standard SQL
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "asc", "desc", "distinct", "all", "as", "and", "or", "not",
+    "in", "exists", "between", "like", "is", "null", "case", "when", "then",
+    "else", "end", "union", "intersect", "except", "create", "table", "view",
+    "drop", "insert", "into", "values", "update", "set", "delete", "primary",
+    "key", "unique", "if", "true", "false", "any", "some", "explain",
+    # I-SQL extensions
+    "possible", "certain", "conf", "repair", "choice", "of", "assert",
+    "worlds", "weight",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line / column)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: Any = None
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when this token is one of the given keywords (case-insensitive)."""
+        return (self.type is TokenType.KEYWORD
+                and self.text.lower() in {name.lower() for name in names})
+
+    def is_operator(self, *symbols: str) -> bool:
+        """True when this token is one of the given operator symbols."""
+        return self.type is TokenType.OPERATOR and self.text in symbols
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.type.value}:{self.text!r}@{self.line}:{self.column}"

@@ -1,0 +1,25 @@
+"""Moving-object tracking under incomplete information (Section 3.1)."""
+
+from .observations import (
+    Observation,
+    ObservationModel,
+    UncertainAttribute,
+    build_tracking_worlds,
+    paper_whale_model,
+)
+from .queries import (
+    attack_possibility_sql,
+    gender_independence_check,
+    protective_cow_view_sql,
+)
+
+__all__ = [
+    "Observation",
+    "ObservationModel",
+    "UncertainAttribute",
+    "attack_possibility_sql",
+    "build_tracking_worlds",
+    "gender_independence_check",
+    "paper_whale_model",
+    "protective_cow_view_sql",
+]

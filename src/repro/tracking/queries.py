@@ -1,0 +1,70 @@
+"""Canned I-SQL queries for the whale-tracking scenario.
+
+These are the statements of Section 3.1 of the paper, parameterised so the
+examples and benchmarks can run them against both the original three-whale
+world-set and the larger synthetic tracking workloads.
+"""
+
+from __future__ import annotations
+
+from ..core.session import MayBMS
+from ..relational.relation import Relation
+
+__all__ = [
+    "attack_possibility_sql",
+    "protective_cow_view_sql",
+    "group_by_adult_position_sql",
+    "gender_independence_check",
+]
+
+
+def attack_possibility_sql(calf_id: int = 1, position: str = "b",
+                           relation: str = "I") -> str:
+    """Query Q of the paper: is it possible the calf moves to *position*?"""
+    return (f"select possible 'yes' from {relation} "
+            f"where Id={calf_id} and Pos='{position}';")
+
+
+def protective_cow_view_sql(view_name: str = "Valid", relation: str = "I",
+                            position: str = "b", drop_worlds: bool = True) -> str:
+    """The ``Valid`` / ``Valid'`` views of the paper.
+
+    With *drop_worlds* true the expert knowledge is enforced with ``assert``
+    (worlds that contradict it are dropped — the paper's ``Valid``); with
+    false the view is defined with a WHERE/EXISTS filter that keeps all worlds
+    but empties the relation in the contradicting ones (the paper's
+    ``Valid'``).
+    """
+    condition = (f"exists (select * from {relation} "
+                 f"where Gender='cow' and Pos='{position}')")
+    if drop_worlds:
+        return (f"create view {view_name} as select * from {relation} "
+                f"assert {condition};")
+    return (f"create view {view_name} as select * from {relation} "
+            f"where {condition};")
+
+
+def group_by_adult_position_sql(table_name: str = "Groups", relation: str = "I",
+                                adult_id: int = 2, third_id: int = 3) -> str:
+    """The ``Groups`` construction: possible gender combinations per world group."""
+    return (
+        f"create table {table_name} as "
+        f"select possible i2.Gender as G2, i3.Gender as G3 "
+        f"from {relation} i2, {relation} i3 "
+        f"where i2.Id = {adult_id} and i3.Id = {third_id} "
+        f"group worlds by (select Pos from {relation} where Id = {adult_id});"
+    )
+
+
+def gender_independence_check(groups: Relation) -> bool:
+    """The paper's independence test: ``Groups = pi_G2(Groups) x pi_G3(Groups)``.
+
+    Returns True when the gender combinations in *groups* are exactly the
+    cross product of the possible G2 values and the possible G3 values — i.e.
+    the two genders carry no information about each other.
+    """
+    observed = {tuple(row) for row in groups.rows}
+    g2_values = {row[groups.schema.index_of("G2")] for row in groups.rows}
+    g3_values = {row[groups.schema.index_of("G3")] for row in groups.rows}
+    expected = {(g2, g3) for g2 in g2_values for g3 in g3_values}
+    return observed == expected

@@ -1,0 +1,21 @@
+"""Synthetic workload generators for the benchmark harness."""
+
+from .generators import (
+    DirtyRelationSpec,
+    census_like_relation,
+    dirty_key_relation,
+    random_tracking_observations,
+    tuple_probabilities,
+)
+from .sweeps import ParameterSweep, SweepPoint, scalability_sweep
+
+__all__ = [
+    "DirtyRelationSpec",
+    "ParameterSweep",
+    "SweepPoint",
+    "census_like_relation",
+    "dirty_key_relation",
+    "random_tracking_observations",
+    "scalability_sweep",
+    "tuple_probabilities",
+]

@@ -1,0 +1,159 @@
+"""Synthetic data generators.
+
+The paper's motivation — census-style data with key violations, moving-object
+observations — cannot ship with the repository (the original census snippets
+and satellite imagery are not available), so the benchmarks run on synthetic
+relations with the same structure:
+
+* :func:`dirty_key_relation` builds a relation with a configurable number of
+  key groups and a configurable number of conflicting tuples per group, which
+  is exactly the shape that makes ``repair by key`` explode combinatorially;
+* :func:`census_like_relation` dresses the same structure up with name /
+  marital-status attributes reminiscent of the companion papers' census
+  example;
+* :func:`random_tracking_observations` produces moving-object observations
+  with uncertain positions for the tracking benchmarks.
+
+All generators take an explicit ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ReproError
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..relational.types import SqlType
+from ..tracking.observations import Observation, UncertainAttribute
+
+__all__ = [
+    "DirtyRelationSpec",
+    "dirty_key_relation",
+    "census_like_relation",
+    "tuple_probabilities",
+    "random_tracking_observations",
+]
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carla", "Daniel", "Eva", "Felix", "Grit", "Hugo",
+    "Ines", "Jonas", "Klara", "Lukas", "Mona", "Nils", "Olga", "Paul",
+]
+_MARITAL_STATUSES = ["single", "married", "divorced", "widowed"]
+
+
+@dataclass(frozen=True)
+class DirtyRelationSpec:
+    """Shape of a synthetic dirty relation.
+
+    ``groups`` key values, each with ``options`` conflicting tuples, gives a
+    relation of ``groups * options`` tuples whose key repair has
+    ``options ** groups`` possible worlds.
+    """
+
+    groups: int
+    options: int
+    payload_columns: int = 2
+    seed: int = 0
+
+    def expected_world_count(self) -> int:
+        """Number of repairs of the generated relation on its key."""
+        return self.options ** self.groups
+
+
+def dirty_key_relation(spec: DirtyRelationSpec, name: str = "Dirty") -> Relation:
+    """Generate a relation violating its key as prescribed by *spec*.
+
+    Schema: ``K`` (the key), ``P1 .. Pn`` payload columns, and ``W`` a positive
+    integer weight usable with ``repair by key ... weight W``.
+    """
+    if spec.groups <= 0 or spec.options <= 0:
+        raise ReproError("groups and options must be positive")
+    rng = random.Random(spec.seed)
+    columns = [Column("K", SqlType.INTEGER)]
+    columns += [Column(f"P{i + 1}", SqlType.INTEGER)
+                for i in range(spec.payload_columns)]
+    columns.append(Column("W", SqlType.INTEGER))
+    relation = Relation(Schema(columns), [], name=name)
+    for key_value in range(spec.groups):
+        for option in range(spec.options):
+            payload = [rng.randint(0, 10_000) for _ in range(spec.payload_columns)]
+            # Guarantee the options differ in the first payload column so that
+            # distinct options really are distinct repairs.
+            payload[0] = payload[0] * spec.options + option
+            weight = rng.randint(1, 10)
+            relation.insert([key_value, *payload, weight])
+    return relation
+
+
+def census_like_relation(people: int, conflicts_per_person: int,
+                         seed: int = 0, name: str = "Census") -> Relation:
+    """A census-style relation with conflicting records per social-security id.
+
+    Schema: ``SSN``, ``Name``, ``Marital``, ``Age``, ``W`` (weight).  Every
+    person has *conflicts_per_person* mutually inconsistent records, which is
+    the data-cleaning situation the MayBMS companion papers motivate with
+    hand-filled census forms.
+    """
+    if people <= 0 or conflicts_per_person <= 0:
+        raise ReproError("people and conflicts_per_person must be positive")
+    rng = random.Random(seed)
+    schema = Schema([
+        Column("SSN", SqlType.INTEGER),
+        Column("Name", SqlType.TEXT),
+        Column("Marital", SqlType.TEXT),
+        Column("Age", SqlType.INTEGER),
+        Column("W", SqlType.INTEGER),
+    ])
+    relation = Relation(schema, [], name=name)
+    for person in range(people):
+        ssn = 100_000 + person
+        base_name = _FIRST_NAMES[person % len(_FIRST_NAMES)]
+        for conflict in range(conflicts_per_person):
+            name_variant = (base_name if conflict == 0
+                            else f"{base_name}_{conflict}")
+            marital = _MARITAL_STATUSES[(person + conflict) % len(_MARITAL_STATUSES)]
+            age = rng.randint(18, 90)
+            weight = rng.randint(1, 5)
+            relation.insert([ssn, name_variant, marital, age, weight])
+    return relation
+
+
+def tuple_probabilities(count: int, seed: int = 0,
+                        low: float = 0.05, high: float = 0.95) -> list[float]:
+    """Deterministic pseudo-random tuple probabilities in ``[low, high]``."""
+    if count < 0:
+        raise ReproError("count must be non-negative")
+    rng = random.Random(seed)
+    return [round(rng.uniform(low, high), 6) for _ in range(count)]
+
+
+def random_tracking_observations(objects: int, positions: int,
+                                 uncertain_fraction: float = 0.5,
+                                 seed: int = 0) -> list[Observation]:
+    """Moving-object observations with uncertain positions.
+
+    Each of *objects* tracked objects is observed at one of *positions* named
+    positions; a fraction of them has two candidate positions instead of one.
+    The induced world count is ``2 ** (#uncertain objects)``.
+    """
+    if objects <= 0 or positions <= 1:
+        raise ReproError("need at least one object and two positions")
+    rng = random.Random(seed)
+    position_names = [f"p{i}" for i in range(positions)]
+    species = ["orca", "sperm", "humpback", "minke"]
+    observations = []
+    for object_id in range(1, objects + 1):
+        certain = {"Species": species[object_id % len(species)]}
+        home = rng.choice(position_names)
+        if rng.random() < uncertain_fraction:
+            other = rng.choice([p for p in position_names if p != home])
+            uncertain = [UncertainAttribute("Pos", (home, other))]
+        else:
+            certain["Pos"] = home
+            uncertain = []
+        observations.append(Observation(object_id, certain=certain,
+                                        uncertain=uncertain))
+    return observations

@@ -1,0 +1,78 @@
+"""Parameter sweeps for the scalability experiments.
+
+The scalability benchmarks (SCALE-1, SCALE-2 in DESIGN.md) compare the
+explicit world-set backend with the world-set decomposition backend while the
+number of possible worlds grows exponentially.  A :class:`ParameterSweep`
+describes the grid of workload shapes to run and knows which points are even
+*feasible* for the explicit backend (enumerating 4^12 worlds is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .generators import DirtyRelationSpec
+
+__all__ = ["SweepPoint", "ParameterSweep", "scalability_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: a workload spec plus backend feasibility flags."""
+
+    spec: DirtyRelationSpec
+    explicit_feasible: bool
+
+    @property
+    def label(self) -> str:
+        """Short label used in benchmark output tables."""
+        return f"groups={self.spec.groups},options={self.spec.options}"
+
+    @property
+    def world_count(self) -> int:
+        """Number of worlds this point induces."""
+        return self.spec.expected_world_count()
+
+
+@dataclass
+class ParameterSweep:
+    """A grid of sweep points with a feasibility cut-off for enumeration."""
+
+    points: list[SweepPoint]
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def explicit_points(self) -> list[SweepPoint]:
+        """The points small enough for the explicit (enumerating) backend."""
+        return [point for point in self.points if point.explicit_feasible]
+
+    def labels(self) -> list[str]:
+        """The labels of all points, in order."""
+        return [point.label for point in self.points]
+
+
+def scalability_sweep(groups: Sequence[int] = (2, 4, 6, 8, 10, 12),
+                      options: Sequence[int] = (2, 4),
+                      explicit_limit: int = 5000,
+                      payload_columns: int = 2,
+                      seed: int = 7) -> ParameterSweep:
+    """The default SCALE-1 grid.
+
+    *explicit_limit* is the largest world count the explicit backend is asked
+    to enumerate; larger points are still measured on the WSD backend, which
+    is the point of the experiment.
+    """
+    points = []
+    for option_count in options:
+        for group_count in groups:
+            spec = DirtyRelationSpec(groups=group_count, options=option_count,
+                                     payload_columns=payload_columns, seed=seed)
+            points.append(SweepPoint(
+                spec=spec,
+                explicit_feasible=spec.expected_world_count() <= explicit_limit))
+    return ParameterSweep(points)

@@ -1,0 +1,180 @@
+"""World-creating I-SQL operations on the explicit world-set backend.
+
+``repair by key`` and ``choice of`` are the two operations of the paper that
+*create* new possible worlds out of existing relations.  Both come in an
+unweighted and a weighted (probabilistic) flavour.  The functions here operate
+on a :class:`~repro.worldset.worldset.WorldSet` and relation names; the I-SQL
+engine calls them after resolving which relation the FROM clause refers to.
+
+Semantics (Section 2 of the paper):
+
+* ``R repair by key K [weight W]`` — group the tuples of ``R`` by their
+  ``K``-value; a repair picks exactly one tuple from every group; there is one
+  new world per repair.  With ``weight W`` the probability of picking a tuple
+  from its group is the tuple's ``W``-value divided by the sum of ``W``-values
+  in the group, and the probability of the world is the product over groups
+  (Example 2.4).
+* ``R choice of U [weight W]`` — there is one new world per distinct
+  ``U``-value; the new world contains the subset of ``R`` with that value (all
+  other relations are copied unchanged).  With ``weight W`` the probability of
+  a world is the sum of ``W``-values of its tuples over the total
+  (Example 2.7).
+
+Both operations *extend* the originating world: every created world keeps all
+relations of its parent (Example 2.3: "each world also contains all relations
+of the world from which it originated").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from ..errors import ProbabilityError, WorldSetError
+from ..relational.constraints import key_repair_groups
+from ..relational.relation import Relation
+from .world import World
+from .worldset import WorldSet
+
+__all__ = [
+    "repair_by_key",
+    "choice_of",
+    "repair_relation_worlds",
+    "choice_relation_worlds",
+]
+
+
+def _weight_value(relation: Relation, row: tuple, weight_attribute: str) -> float:
+    """Read and validate the weight of *row*."""
+    index = relation.schema.index_of(weight_attribute)
+    value = row[index]
+    if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProbabilityError(
+            f"weight attribute {weight_attribute!r} must be numeric, got {value!r}")
+    if value < 0:
+        raise ProbabilityError(f"negative weight {value!r}")
+    return float(value)
+
+
+def repair_relation_worlds(relation: Relation, key: Sequence[str],
+                           weight: str | None = None,
+                           output_columns: Sequence[str] | None = None,
+                           ) -> list[tuple[Relation, float | None]]:
+    """Enumerate the repairs of a single relation.
+
+    Returns ``(repaired relation, weight)`` pairs; the weight is ``None`` when
+    *weight* is not given, otherwise the product of the per-group normalised
+    weights.  *output_columns* optionally projects the repaired relation (the
+    paper's Example 2.3 selects ``A, B, C`` and drops the weight column ``D``).
+    """
+    groups = key_repair_groups(relation, key)
+    if not groups:
+        raise WorldSetError("cannot repair an empty relation: no worlds would result")
+    per_group_choices: list[list[tuple[tuple, float | None]]] = []
+    for _, rows in groups:
+        if weight is None:
+            per_group_choices.append([(row, None) for row in rows])
+        else:
+            weights = [_weight_value(relation, row, weight) for row in rows]
+            total = sum(weights)
+            if total <= 0:
+                raise ProbabilityError(
+                    f"weights in key group sum to {total}; must be positive")
+            per_group_choices.append([
+                (row, value / total) for row, value in zip(rows, weights)])
+    results: list[tuple[Relation, float | None]] = []
+    for combination in product(*per_group_choices):
+        rows = [row for row, _ in combination]
+        probability: float | None
+        if weight is None:
+            probability = None
+        else:
+            probability = 1.0
+            for _, fraction in combination:
+                probability *= fraction  # type: ignore[operator]
+        repaired = Relation(relation.schema, [], coerce=False)
+        repaired.rows = rows
+        if output_columns is not None:
+            repaired = repaired.project_columns(list(output_columns))
+        results.append((repaired, probability))
+    return results
+
+
+def choice_relation_worlds(relation: Relation, attributes: Sequence[str],
+                           weight: str | None = None,
+                           ) -> list[tuple[Relation, float | None]]:
+    """Enumerate the ``choice of`` partitions of a single relation.
+
+    Returns one ``(partition, weight)`` pair per distinct value of
+    *attributes*, in first-appearance order.
+    """
+    indexes = [relation.schema.index_of(name) for name in attributes]
+    order: list[tuple] = []
+    partitions: dict[tuple, list[tuple]] = {}
+    for row in relation.rows:
+        value = tuple(row[i] for i in indexes)
+        if value not in partitions:
+            order.append(value)
+            partitions[value] = []
+        partitions[value].append(row)
+    if not order:
+        raise WorldSetError("cannot apply choice-of to an empty relation")
+    results: list[tuple[Relation, float | None]] = []
+    if weight is None:
+        weights_by_value: dict[tuple, float | None] = {value: None for value in order}
+    else:
+        sums = {}
+        for value in order:
+            sums[value] = sum(_weight_value(relation, row, weight)
+                              for row in partitions[value])
+        total = sum(sums.values())
+        if total <= 0:
+            raise ProbabilityError("choice-of weights must have a positive sum")
+        weights_by_value = {value: sums[value] / total for value in order}
+    for value in order:
+        partition = Relation(relation.schema, [], coerce=False)
+        partition.rows = list(partitions[value])
+        results.append((partition, weights_by_value[value]))
+    return results
+
+
+def repair_by_key(world_set: WorldSet, relation_name: str, key: Sequence[str],
+                  weight: str | None = None,
+                  target_name: str | None = None,
+                  output_columns: Sequence[str] | None = None) -> WorldSet:
+    """Apply ``repair by key`` to *relation_name* in every world of *world_set*.
+
+    Each input world is replaced by one world per repair; the repaired
+    relation is stored under *target_name* (defaults to the source name) and
+    all other relations of the parent world are kept.
+    """
+    stored_name = target_name or relation_name
+
+    def splitter(world: World) -> list[tuple[World, float | None]]:
+        relation = world.relation(relation_name)
+        alternatives = []
+        for repaired, probability in repair_relation_worlds(
+                relation, key, weight, output_columns):
+            alternatives.append(
+                (world.with_relation(stored_name, repaired), probability))
+        return alternatives
+
+    return world_set.expand(splitter)
+
+
+def choice_of(world_set: WorldSet, relation_name: str, attributes: Sequence[str],
+              weight: str | None = None,
+              target_name: str | None = None) -> WorldSet:
+    """Apply ``choice of`` to *relation_name* in every world of *world_set*."""
+    stored_name = target_name or relation_name
+
+    def splitter(world: World) -> list[tuple[World, float | None]]:
+        relation = world.relation(relation_name)
+        alternatives = []
+        for partition, probability in choice_relation_worlds(
+                relation, attributes, weight):
+            alternatives.append(
+                (world.with_relation(stored_name, partition), probability))
+        return alternatives
+
+    return world_set.expand(splitter)

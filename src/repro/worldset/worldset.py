@@ -1,0 +1,318 @@
+"""World-sets: finite sets of possible worlds with optional probabilities.
+
+A :class:`WorldSet` is the explicit (enumerated) representation of incomplete
+information: each member :class:`World` is one complete database.  This is the
+*reference* backend of the reproduction — its semantics is exactly the
+possible-worlds semantics of the paper, and the compact world-set
+decomposition backend (:mod:`repro.wsd`) is checked against it.
+
+The class offers the primitive operations the I-SQL engine needs:
+
+* per-world mapping and materialisation (possible-worlds query evaluation),
+* splitting a world into several (``repair by key``, ``choice of``),
+* filtering with renormalisation (``assert``),
+* cross-world collection (``possible``, ``certain``, ``conf``),
+* grouping of worlds by a per-world key (``group worlds by``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import WorldSetError
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from .probability import normalize, validate_probabilities
+from .world import World
+
+__all__ = ["WorldSet"]
+
+_WORLD_LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _default_label(index: int) -> str:
+    """A, B, ..., Z, A1, B1, ... — stable readable world labels."""
+    letter = _WORLD_LABELS[index % len(_WORLD_LABELS)]
+    round_number = index // len(_WORLD_LABELS)
+    return letter if round_number == 0 else f"{letter}{round_number}"
+
+
+class WorldSet:
+    """A finite set of possible worlds.
+
+    The set preserves insertion order so results are reproducible and so the
+    paper's world labels (A, B, C, D, ...) stay attached to the same worlds.
+    """
+
+    __slots__ = ("worlds",)
+
+    def __init__(self, worlds: Iterable[World] = ()) -> None:
+        self.worlds: list[World] = list(worlds)
+
+    # -- constructors -----------------------------------------------------------------
+
+    @classmethod
+    def single(cls, catalog: Catalog | dict[str, Relation] | None = None,
+               probability: float | None = None,
+               label: str | None = None) -> "WorldSet":
+        """A world-set containing exactly one (complete) world."""
+        return cls([World(catalog, probability, label)])
+
+    @classmethod
+    def from_catalogs(cls, catalogs: Sequence[Catalog],
+                      probabilities: Sequence[float] | None = None,
+                      labels: Sequence[str] | None = None) -> "WorldSet":
+        """Build a world-set from catalogs plus optional probabilities/labels."""
+        worlds = []
+        for index, catalog in enumerate(catalogs):
+            probability = probabilities[index] if probabilities is not None else None
+            label = labels[index] if labels is not None else _default_label(index)
+            worlds.append(World(catalog, probability, label))
+        return cls(worlds)
+
+    # -- container protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self.worlds)
+
+    def __getitem__(self, index: int) -> World:
+        return self.worlds[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorldSet({len(self.worlds)} worlds)"
+
+    def is_probabilistic(self) -> bool:
+        """True when the worlds carry probabilities."""
+        if not self.worlds:
+            return False
+        return self.worlds[0].probability is not None
+
+    def probabilities(self) -> list[float | None]:
+        """The list of world probabilities, in order."""
+        return [world.probability for world in self.worlds]
+
+    def labels(self) -> list[str | None]:
+        """The list of world labels, in order."""
+        return [world.label for world in self.worlds]
+
+    def world_by_label(self, label: str) -> World:
+        """Return the world labelled *label*."""
+        for world in self.worlds:
+            if world.label == label:
+                return world
+        raise WorldSetError(f"no world labelled {label!r}")
+
+    def validate(self, require_normalized: bool = True) -> "WorldSet":
+        """Check the probability invariant; return self for chaining."""
+        if not self.worlds:
+            raise WorldSetError("a world-set must contain at least one world")
+        validate_probabilities(self.probabilities(),
+                               require_normalized=require_normalized)
+        return self
+
+    def relabel(self) -> "WorldSet":
+        """Assign fresh default labels A, B, C, ... in order."""
+        for index, world in enumerate(self.worlds):
+            world.label = _default_label(index)
+        return self
+
+    # -- per-world evaluation (possible-worlds semantics) --------------------------------
+
+    def map_worlds(self, transform: Callable[[World], World]) -> "WorldSet":
+        """Apply *transform* to every world, keeping order."""
+        return WorldSet([transform(world) for world in self.worlds])
+
+    def evaluate(self, query: Callable[[World], Any]) -> list[Any]:
+        """Evaluate *query* independently in every world; return the answers."""
+        return [query(world) for world in self.worlds]
+
+    def materialize(self, name: str,
+                    query: Callable[[World], Relation]) -> "WorldSet":
+        """``CREATE TABLE name AS query``: extend each world with its answer."""
+        extended = []
+        for world in self.worlds:
+            extended.append(world.with_relation(name, query(world)))
+        return WorldSet(extended)
+
+    # -- world creation (repair-by-key, choice-of) ----------------------------------------
+
+    def expand(self, splitter: Callable[[World], Sequence[tuple[World, float | None]]]
+               ) -> "WorldSet":
+        """Replace each world by several alternatives.
+
+        *splitter* maps a world to a sequence of ``(new world, local weight)``
+        pairs.  When the input world-set is probabilistic (or local weights are
+        given) the new world's probability is the parent probability times the
+        local weight.  A local weight of ``None`` means an unweighted split: it
+        keeps a non-probabilistic world-set non-probabilistic, and divides a
+        probabilistic parent's mass uniformly among its alternatives so the
+        total probability stays one.
+        """
+        result: list[World] = []
+        for world in self.worlds:
+            alternatives = list(splitter(world))
+            if not alternatives:
+                raise WorldSetError(
+                    "a world split produced no alternative worlds")
+            for new_world, weight in alternatives:
+                if weight is None:
+                    if world.probability is None:
+                        new_world.probability = None
+                    else:
+                        new_world.probability = (world.probability
+                                                 / len(alternatives))
+                else:
+                    parent = world.probability if world.probability is not None else 1.0
+                    new_world.probability = parent * weight
+                result.append(new_world)
+        expanded = WorldSet(result)
+        expanded.relabel()
+        return expanded
+
+    # -- assert -----------------------------------------------------------------------------
+
+    def filter_worlds(self, predicate: Callable[[World], bool],
+                      renormalize: bool = True) -> "WorldSet":
+        """Keep the worlds satisfying *predicate* (the ``assert`` operation).
+
+        In the probabilistic case the survivors are renormalised so their
+        probabilities sum to one, exactly as in Example 2.5 of the paper.
+        """
+        kept = [world for world in self.worlds if predicate(world)]
+        if not kept:
+            raise WorldSetError("assert dropped every world")
+        survivors = [world.copy() for world in kept]
+        if renormalize and survivors[0].probability is not None:
+            scaled = normalize([world.probability for world in survivors])
+            for world, probability in zip(survivors, scaled):
+                world.probability = probability
+        return WorldSet(survivors)
+
+    # -- cross-world collection: possible / certain / conf ------------------------------------
+
+    def possible(self, query: Callable[[World], Relation]) -> Relation:
+        """Union (set semantics) of the query answers across all worlds."""
+        answers = self.evaluate(query)
+        result = answers[0].distinct()
+        for answer in answers[1:]:
+            result = result.union(answer, distinct=True)
+        return result
+
+    def certain(self, query: Callable[[World], Relation]) -> Relation:
+        """Intersection (set semantics) of the query answers across all worlds."""
+        answers = self.evaluate(query)
+        result = answers[0].distinct()
+        for answer in answers[1:]:
+            result = result.intersect(answer, distinct=True)
+        return result
+
+    def tuple_confidence(self, query: Callable[[World], Relation]) -> Relation:
+        """Confidence of every possible answer tuple.
+
+        The confidence of a tuple is the sum of the probabilities of the
+        worlds whose answer contains it.  The result relation has the answer
+        columns plus a trailing ``conf`` column.  On a non-probabilistic
+        world-set each world counts with uniform weight ``1/N``.
+        """
+        answers = self.evaluate(query)
+        weights = self._world_weights()
+        first_schema = answers[0].schema
+        confidence: dict[tuple, float] = {}
+        order: list[tuple] = []
+        for answer, weight in zip(answers, weights):
+            for row in set(answer.rows):
+                if row not in confidence:
+                    confidence[row] = 0.0
+                    order.append(row)
+                confidence[row] += weight
+        schema = Schema(list(first_schema.without_qualifiers().columns)
+                        + [Column("conf")])
+        result = Relation(schema, [], coerce=False)
+        result.rows = [row + (confidence[row],) for row in order]
+        return result
+
+    def event_confidence(self, event: Callable[[World], bool]) -> float:
+        """Probability mass of the worlds satisfying *event*."""
+        weights = self._world_weights()
+        return sum(weight for world, weight in zip(self.worlds, weights)
+                   if event(world))
+
+    def _world_weights(self) -> list[float]:
+        if self.is_probabilistic():
+            return [float(world.probability) for world in self.worlds]
+        if not self.worlds:
+            return []
+        uniform = 1.0 / len(self.worlds)
+        return [uniform] * len(self.worlds)
+
+    # -- group worlds by -------------------------------------------------------------------------
+
+    def group_worlds_by(self, key: Callable[[World], Any]
+                        ) -> list[tuple[Any, "WorldSet"]]:
+        """Partition the world-set by a per-world key (``group worlds by``).
+
+        The key is typically the fingerprint of a subquery's answer.  Groups
+        preserve the order in which their keys first appear; probabilities are
+        *not* renormalised inside groups — each group keeps the original world
+        probabilities, since the groups jointly cover the whole world-set.
+        """
+        order: list[Any] = []
+        groups: dict[Any, list[World]] = {}
+        for world in self.worlds:
+            value = key(world)
+            if value not in groups:
+                order.append(value)
+                groups[value] = []
+            groups[value].append(world)
+        return [(value, WorldSet(groups[value])) for value in order]
+
+    # -- comparison and display ---------------------------------------------------------------------
+
+    def same_world_contents(self, other: "WorldSet",
+                            relations: Iterable[str] | None = None,
+                            compare_probabilities: bool = False,
+                            tolerance: float = 1e-6) -> bool:
+        """Compare two world-sets as *sets* of worlds (order-insensitive).
+
+        Worlds are matched by their relation contents (restricted to
+        *relations* when given); probabilities are compared within
+        *tolerance* when *compare_probabilities* is true.
+        """
+        if len(self.worlds) != len(other.worlds):
+            return False
+        remaining = list(other.worlds)
+        for world in self.worlds:
+            for index, candidate in enumerate(remaining):
+                if not world.same_contents(candidate, relations):
+                    continue
+                if compare_probabilities:
+                    mine = world.probability or 0.0
+                    theirs = candidate.probability or 0.0
+                    if abs(mine - theirs) > tolerance:
+                        continue
+                del remaining[index]
+                break
+            else:
+                return False
+        return True
+
+    def total_tuples(self) -> int:
+        """Total number of stored tuples across all worlds (a size measure)."""
+        return sum(len(world.catalog.get(name))
+                   for world in self.worlds
+                   for name in world.catalog.names())
+
+    def describe(self, relation_names: Iterable[str] | None = None,
+                 max_rows: int | None = None) -> str:
+        """Return a printable rendering of every world."""
+        blocks = [world.describe(relation_names, max_rows=max_rows)
+                  for world in self.worlds]
+        return ("\n" + "=" * 40 + "\n").join(blocks)
+
+    def copy(self) -> "WorldSet":
+        """Deep-ish copy: worlds are copied, relations are shared copies."""
+        return WorldSet([world.copy() for world in self.worlds])

@@ -1,0 +1,31 @@
+"""World-set decompositions: the compact representation of large world-sets."""
+
+from .component import Alternative, Component
+from .construct import (
+    add_certain_relation,
+    from_choice_of,
+    from_key_repair,
+    from_tuple_independent,
+    from_worldset,
+)
+from .decomposition import Template, TemplateTuple, WorldSetDecomposition
+from .fields import EXISTS_ATTRIBUTE, Field
+from .normalize import factorize_component, is_normalized, normalize
+
+__all__ = [
+    "Alternative",
+    "Component",
+    "EXISTS_ATTRIBUTE",
+    "Field",
+    "Template",
+    "TemplateTuple",
+    "WorldSetDecomposition",
+    "add_certain_relation",
+    "factorize_component",
+    "from_choice_of",
+    "from_key_repair",
+    "from_tuple_independent",
+    "from_worldset",
+    "is_normalized",
+    "normalize",
+]

@@ -1,0 +1,229 @@
+"""Components of a world-set decomposition.
+
+A :class:`Component` groups a set of fields that vary *together*: it lists the
+joint assignments (its :class:`Alternative` local worlds) the fields can take,
+optionally with probabilities.  Different components are independent — the
+world-set represented by a decomposition is the product of its components'
+alternatives, which is what makes the representation exponentially more
+compact than enumerating worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import DecompositionError, ProbabilityError
+from .fields import Field
+
+__all__ = ["Alternative", "Component"]
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One local world of a component: a joint assignment of its fields.
+
+    ``values`` is aligned with the owning component's ``fields`` tuple.
+    ``probability`` is ``None`` in non-probabilistic decompositions.
+    """
+
+    values: tuple[Any, ...]
+    probability: float | None = None
+
+    def value_map(self, fields: Sequence[Field]) -> dict[Field, Any]:
+        """Return the assignment as a mapping (using the owning fields)."""
+        return dict(zip(fields, self.values))
+
+
+class Component:
+    """A set of fields together with their possible joint assignments."""
+
+    __slots__ = ("fields", "alternatives")
+
+    def __init__(self, fields: Sequence[Field],
+                 alternatives: Iterable[Alternative | tuple]) -> None:
+        if not fields:
+            raise DecompositionError("a component needs at least one field")
+        self.fields: tuple[Field, ...] = tuple(fields)
+        if len(set(self.fields)) != len(self.fields):
+            raise DecompositionError("duplicate field in component")
+        normalized: list[Alternative] = []
+        for alternative in alternatives:
+            if not isinstance(alternative, Alternative):
+                alternative = Alternative(tuple(alternative))
+            if len(alternative.values) != len(self.fields):
+                raise DecompositionError(
+                    f"alternative arity {len(alternative.values)} does not match "
+                    f"the component's {len(self.fields)} fields")
+            normalized.append(alternative)
+        if not normalized:
+            raise DecompositionError("a component needs at least one alternative")
+        self.alternatives: list[Alternative] = normalized
+        self._validate_probabilities()
+
+    # -- invariants -----------------------------------------------------------------
+
+    def _validate_probabilities(self) -> None:
+        probabilities = [a.probability for a in self.alternatives]
+        with_p = [p for p in probabilities if p is not None]
+        if not with_p:
+            return
+        if len(with_p) != len(probabilities):
+            raise ProbabilityError(
+                "component mixes weighted and unweighted alternatives")
+        total = sum(with_p)
+        if any(p < 0 for p in with_p):
+            raise ProbabilityError("negative alternative probability")
+        if abs(total - 1.0) > 1e-6:
+            raise ProbabilityError(
+                f"component alternative probabilities sum to {total}, expected 1")
+
+    def is_probabilistic(self) -> bool:
+        """True when the alternatives carry probabilities."""
+        return self.alternatives[0].probability is not None
+
+    # -- size and membership ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+    def arity(self) -> int:
+        """Number of fields in the component."""
+        return len(self.fields)
+
+    def storage_size(self) -> int:
+        """Number of stored cells (|fields| x |alternatives|) — the size
+        measure used by the scalability experiments."""
+        return len(self.fields) * len(self.alternatives)
+
+    def field_index(self, target: Field) -> int:
+        """Index of *target* within this component's fields."""
+        try:
+            return self.fields.index(target)
+        except ValueError as exc:
+            raise DecompositionError(f"field {target} not in component") from exc
+
+    def covers(self, target: Field) -> bool:
+        """True when *target* belongs to this component."""
+        return target in self.fields
+
+    # -- queries ----------------------------------------------------------------------------
+
+    def values_of(self, target: Field) -> list[Any]:
+        """The values *target* takes across the alternatives, in order."""
+        index = self.field_index(target)
+        return [alternative.values[index] for alternative in self.alternatives]
+
+    def marginal(self, target: Field) -> dict[Any, float]:
+        """The marginal distribution of *target* (uniform when unweighted)."""
+        index = self.field_index(target)
+        weights: dict[Any, float] = {}
+        uniform = 1.0 / len(self.alternatives)
+        for alternative in self.alternatives:
+            value = alternative.values[index]
+            probability = (alternative.probability
+                           if alternative.probability is not None else uniform)
+            weights[value] = weights.get(value, 0.0) + probability
+        return weights
+
+    def satisfaction_probability(self, predicate: Callable[[dict[Field, Any]], bool]
+                                 ) -> float:
+        """Probability mass of the alternatives satisfying *predicate*."""
+        uniform = 1.0 / len(self.alternatives)
+        total = 0.0
+        for alternative in self.alternatives:
+            assignment = alternative.value_map(self.fields)
+            if predicate(assignment):
+                total += (alternative.probability
+                          if alternative.probability is not None else uniform)
+        return total
+
+    # -- conditioning -----------------------------------------------------------------------------
+
+    def condition(self, predicate: Callable[[dict[Field, Any]], bool]) -> "Component":
+        """Keep only the alternatives satisfying *predicate* and renormalise.
+
+        This implements ``assert`` at the component level when the asserted
+        condition only involves this component's fields.
+        """
+        kept = [alternative for alternative in self.alternatives
+                if predicate(alternative.value_map(self.fields))]
+        if not kept:
+            raise DecompositionError(
+                "conditioning removed every alternative of the component")
+        if self.is_probabilistic():
+            total = sum(a.probability for a in kept)  # type: ignore[misc]
+            if total <= 0:
+                raise ProbabilityError("conditioning left zero probability mass")
+            kept = [Alternative(a.values, a.probability / total)  # type: ignore[operator]
+                    for a in kept]
+        return Component(self.fields, kept)
+
+    # -- restructuring ------------------------------------------------------------------------------
+
+    def project(self, fields: Sequence[Field],
+                renormalize: bool = True) -> "Component":
+        """Project the alternatives onto *fields*, merging duplicates.
+
+        The probability of a projected alternative is the sum of the
+        probabilities of the alternatives mapping to it.
+        """
+        indexes = [self.field_index(f) for f in fields]
+        seen: dict[tuple, float | None] = {}
+        order: list[tuple] = []
+        uniform = 1.0 / len(self.alternatives)
+        for alternative in self.alternatives:
+            key = tuple(alternative.values[i] for i in indexes)
+            weight = (alternative.probability
+                      if alternative.probability is not None else
+                      (uniform if renormalize else None))
+            if key not in seen:
+                order.append(key)
+                seen[key] = weight
+            elif weight is not None:
+                seen[key] = (seen[key] or 0.0) + weight
+        alternatives = [Alternative(key, seen[key]) for key in order]
+        return Component(list(fields), alternatives)
+
+    def merge(self, other: "Component") -> "Component":
+        """Product of two independent components into one (the inverse of a
+        split); used when a condition couples previously independent fields."""
+        overlap = set(self.fields) & set(other.fields)
+        if overlap:
+            raise DecompositionError(
+                f"cannot merge components sharing fields: {sorted(map(str, overlap))}")
+        fields = self.fields + other.fields
+        alternatives = []
+        for mine in self.alternatives:
+            for theirs in other.alternatives:
+                if mine.probability is None and theirs.probability is None:
+                    probability = None
+                else:
+                    probability = (mine.probability or 1.0) * (theirs.probability or 1.0)
+                alternatives.append(Alternative(mine.values + theirs.values,
+                                                probability))
+        return Component(fields, alternatives)
+
+    # -- equality / display ------------------------------------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """A hashable canonical form (sorted fields and alternatives)."""
+        order = sorted(range(len(self.fields)), key=lambda i: self.fields[i])
+        fields = tuple(self.fields[i] for i in order)
+        alternatives = tuple(sorted(
+            (tuple(a.values[i] for i in order),
+             None if a.probability is None else round(a.probability, 12))
+            for a in self.alternatives))
+        return (fields, alternatives)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Component):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(str(f) for f in self.fields)
+        return f"Component([{names}], {len(self.alternatives)} alternatives)"

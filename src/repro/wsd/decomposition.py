@@ -1,0 +1,376 @@
+"""World-set decompositions: compact, factorised world-sets.
+
+A :class:`WorldSetDecomposition` (WSD) represents a possibly astronomically
+large set of possible worlds as
+
+* a **template**: for every relation, a list of template tuples whose cells
+  are either constants or :class:`~repro.wsd.fields.Field` placeholders, plus
+  optional *presence* fields deciding whether a tuple exists at all, and
+* a list of independent **components**, each assigning joint values to a
+  group of fields.
+
+The represented world-set is the product of the components: every choice of
+one alternative per component yields one world.  A WSD whose components have
+``k_1, ..., k_m`` alternatives therefore represents ``k_1 * ... * k_m`` worlds
+while storing only ``sum_i |fields_i| * k_i`` cells — this is the
+representation behind the "10^10^6 worlds" argument of the companion papers.
+
+The class supports enumeration (guarded, for testing and for conversion to the
+explicit backend), exact confidence computation that only touches the relevant
+components, conditioning (``assert`` restricted to template predicates),
+possible/certain value queries, and normalisation into maximally factorised
+form (see :mod:`repro.wsd.normalize`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from itertools import product
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import DecompositionError
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from ..worldset.world import World
+from ..worldset.worldset import WorldSet
+from .component import Alternative, Component
+from .fields import EXISTS_ATTRIBUTE, Field
+
+__all__ = ["TemplateTuple", "Template", "WorldSetDecomposition"]
+
+#: Enumeration guard: converting a WSD to an explicit world-set refuses to
+#: materialise more worlds than this unless the caller raises the limit.
+DEFAULT_ENUMERATION_LIMIT = 100_000
+
+
+@dataclass
+class TemplateTuple:
+    """One template tuple: constants and field placeholders, plus presence."""
+
+    relation: str
+    tuple_id: int
+    cells: tuple[Any, ...]
+    presence: Optional[Field] = None
+
+    def fields(self) -> list[Field]:
+        """All fields referenced by this template tuple (cells + presence)."""
+        found = [cell for cell in self.cells if isinstance(cell, Field)]
+        if self.presence is not None:
+            found.append(self.presence)
+        return found
+
+    def instantiate(self, assignment: dict[Field, Any]) -> Optional[tuple]:
+        """Return the concrete tuple under *assignment*, or None when absent."""
+        if self.presence is not None and not assignment.get(self.presence, True):
+            return None
+        values = []
+        for cell in self.cells:
+            if isinstance(cell, Field):
+                if cell not in assignment:
+                    raise DecompositionError(f"unassigned field {cell}")
+                values.append(assignment[cell])
+            else:
+                values.append(cell)
+        return tuple(values)
+
+
+@dataclass
+class Template:
+    """The template part of a WSD: schemas plus template tuples per relation."""
+
+    schemas: dict[str, Schema] = dataclass_field(default_factory=dict)
+    tuples: list[TemplateTuple] = dataclass_field(default_factory=list)
+
+    def add_relation(self, name: str, schema: Schema) -> None:
+        """Declare a relation with *schema* (template tuples refer to it by name)."""
+        self.schemas[name] = schema
+
+    def add_tuple(self, relation: str, cells: Sequence[Any],
+                  presence: Optional[Field] = None) -> TemplateTuple:
+        """Append a template tuple to *relation* and return it."""
+        if relation not in self.schemas:
+            raise DecompositionError(f"unknown template relation {relation!r}")
+        if len(cells) != len(self.schemas[relation]):
+            raise DecompositionError(
+                f"template tuple arity {len(cells)} does not match schema of "
+                f"{relation!r}")
+        template_tuple = TemplateTuple(relation, len(self.tuples), tuple(cells),
+                                       presence)
+        self.tuples.append(template_tuple)
+        return template_tuple
+
+    def relation_tuples(self, relation: str) -> list[TemplateTuple]:
+        """The template tuples of *relation*, in insertion order."""
+        return [t for t in self.tuples if t.relation == relation]
+
+    def all_fields(self) -> set[Field]:
+        """Every field referenced anywhere in the template."""
+        return {f for t in self.tuples for f in t.fields()}
+
+    def constant_cell_count(self) -> int:
+        """Number of constant cells stored in the template."""
+        return sum(1 for t in self.tuples for cell in t.cells
+                   if not isinstance(cell, Field))
+
+
+class WorldSetDecomposition:
+    """A template plus independent components: the compact world-set."""
+
+    def __init__(self, template: Template,
+                 components: Iterable[Component] = ()) -> None:
+        self.template = template
+        self.components: list[Component] = list(components)
+        self._validate()
+
+    # -- invariants ----------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        covered: set[Field] = set()
+        for component in self.components:
+            for f in component.fields:
+                if f in covered:
+                    raise DecompositionError(
+                        f"field {f} appears in more than one component")
+                covered.add(f)
+        missing = self.template.all_fields() - covered
+        if missing:
+            raise DecompositionError(
+                "template fields not covered by any component: "
+                + ", ".join(str(f) for f in sorted(missing)))
+
+    def is_probabilistic(self) -> bool:
+        """True when every component carries probabilities."""
+        return bool(self.components) and all(
+            component.is_probabilistic() for component in self.components)
+
+    # -- size measures ------------------------------------------------------------------------
+
+    def world_count(self) -> int:
+        """The number of represented worlds (product of component sizes)."""
+        count = 1
+        for component in self.components:
+            count *= len(component)
+        return count
+
+    def log10_world_count(self) -> float:
+        """log10 of the world count (safe for astronomically large counts)."""
+        return sum(math.log10(len(component)) for component in self.components)
+
+    def storage_size(self) -> int:
+        """Stored cells: template constants plus component alternative cells.
+
+        This is the size measure the scalability benchmark (SCALE-1) compares
+        against the total tuple count of the equivalent explicit world-set.
+        """
+        return (self.template.constant_cell_count()
+                + sum(component.storage_size() for component in self.components))
+
+    def component_for(self, target: Field) -> Component:
+        """The unique component containing *target*."""
+        for component in self.components:
+            if component.covers(target):
+                return component
+        raise DecompositionError(f"field {target} is not covered by any component")
+
+    # -- enumeration -----------------------------------------------------------------------------
+
+    def iter_assignments(self, limit: int | None = DEFAULT_ENUMERATION_LIMIT
+                         ) -> Iterator[tuple[dict[Field, Any], float | None]]:
+        """Yield ``(assignment, probability)`` for every represented world.
+
+        Enumeration is exponential in the number of components; the *limit*
+        guard protects against accidentally materialising a compactly
+        represented world-set (pass ``None`` to disable it).
+        """
+        if limit is not None and self.world_count() > limit:
+            raise DecompositionError(
+                f"refusing to enumerate {self.world_count()} worlds "
+                f"(limit {limit}); raise the limit explicitly if intended")
+        if not self.components:
+            yield {}, 1.0
+            return
+        choice_lists = [component.alternatives for component in self.components]
+        for combination in product(*choice_lists):
+            assignment: dict[Field, Any] = {}
+            probability: float | None = 1.0
+            probabilistic = True
+            for component, alternative in zip(self.components, combination):
+                assignment.update(alternative.value_map(component.fields))
+                if alternative.probability is None:
+                    probabilistic = False
+                else:
+                    probability *= alternative.probability
+            yield assignment, (probability if probabilistic else None)
+
+    def instantiate(self, assignment: dict[Field, Any]) -> Catalog:
+        """Build the concrete database (catalog) for one assignment."""
+        catalog = Catalog()
+        for name, schema in self.template.schemas.items():
+            relation = Relation(schema, [], name=name)
+            for template_tuple in self.template.relation_tuples(name):
+                row = template_tuple.instantiate(assignment)
+                if row is not None:
+                    relation.insert(row)
+            catalog.create(name, relation)
+        return catalog
+
+    def to_worldset(self, limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> WorldSet:
+        """Materialise the explicit world-set (guarded by *limit*)."""
+        worlds = []
+        for assignment, probability in self.iter_assignments(limit):
+            worlds.append(World(self.instantiate(assignment), probability))
+        world_set = WorldSet(worlds)
+        world_set.relabel()
+        return world_set
+
+    # -- probability and value queries ------------------------------------------------------------------
+
+    def world_probability(self, assignment: dict[Field, Any]) -> float:
+        """Probability of the world selected by *assignment*.
+
+        The assignment must pick, for every component, values matching exactly
+        one alternative; non-probabilistic components contribute uniformly.
+        """
+        probability = 1.0
+        for component in self.components:
+            matches = [alternative for alternative in component.alternatives
+                       if all(assignment.get(f) == v
+                              for f, v in zip(component.fields, alternative.values))]
+            if len(matches) != 1:
+                raise DecompositionError(
+                    "assignment does not select exactly one alternative of "
+                    f"component {component!r}")
+            alternative = matches[0]
+            probability *= (alternative.probability
+                            if alternative.probability is not None
+                            else 1.0 / len(component))
+        return probability
+
+    def possible_values(self, target: Field) -> set[Any]:
+        """The set of values *target* takes in some world."""
+        return set(self.component_for(target).values_of(target))
+
+    def certain_value(self, target: Field) -> Any | None:
+        """The value *target* takes in every world, or None if it varies."""
+        values = self.possible_values(target)
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    def marginal(self, target: Field) -> dict[Any, float]:
+        """Marginal distribution of a single field."""
+        return self.component_for(target).marginal(target)
+
+    def tuple_confidence(self, relation: str, row: Sequence[Any]) -> float:
+        """Exact confidence that *relation* contains *row*.
+
+        Only the components touching template tuples that could produce the
+        row are enumerated jointly; all other components are irrelevant to the
+        event and are skipped, which keeps the computation polynomial for
+        decompositions whose tuples do not share components (the common case
+        produced by ``repair by key``).
+        """
+        row = tuple(row)
+        candidates = [t for t in self.template.relation_tuples(relation)
+                      if self._could_match(t, row)]
+        if not candidates:
+            return 0.0
+        relevant = self._relevant_components(candidates)
+
+        def event(assignment: dict[Field, Any]) -> bool:
+            return any(t.instantiate(assignment) == row for t in candidates)
+
+        return self._event_probability(relevant, event)
+
+    def event_confidence(self, predicate: Callable[[dict[Field, Any]], bool],
+                         fields: Iterable[Field]) -> float:
+        """Probability that *predicate* over *fields* holds.
+
+        Only the components covering *fields* are enumerated jointly.
+        """
+        involved = set(fields)
+        relevant = [component for component in self.components
+                    if set(component.fields) & involved]
+        return self._event_probability(relevant, predicate)
+
+    def _could_match(self, template_tuple: TemplateTuple, row: tuple) -> bool:
+        if len(row) != len(template_tuple.cells):
+            return False
+        for cell, value in zip(template_tuple.cells, row):
+            if not isinstance(cell, Field) and cell != value:
+                return False
+        return True
+
+    def _relevant_components(self, tuples: Sequence[TemplateTuple]
+                             ) -> list[Component]:
+        involved = {f for t in tuples for f in t.fields()}
+        return [component for component in self.components
+                if set(component.fields) & involved]
+
+    def _event_probability(self, components: Sequence[Component],
+                           predicate: Callable[[dict[Field, Any]], bool]) -> float:
+        if not components:
+            return 1.0 if predicate({}) else 0.0
+        total = 0.0
+        choice_lists = [component.alternatives for component in components]
+        for combination in product(*choice_lists):
+            assignment: dict[Field, Any] = {}
+            probability = 1.0
+            for component, alternative in zip(components, combination):
+                assignment.update(alternative.value_map(component.fields))
+                probability *= (alternative.probability
+                                if alternative.probability is not None
+                                else 1.0 / len(component))
+            if predicate(assignment):
+                total += probability
+        return total
+
+    # -- conditioning (assert) ---------------------------------------------------------------------------------
+
+    def condition(self, predicate: Callable[[dict[Field, Any]], bool],
+                  fields: Iterable[Field]) -> "WorldSetDecomposition":
+        """Keep only the worlds satisfying *predicate* over *fields*.
+
+        The components covering *fields* are merged into one (the condition
+        may correlate them), conditioned, and the result re-normalised; all
+        other components are untouched.  This is the decomposition-level
+        counterpart of the ``assert`` operation.
+        """
+        involved = set(fields)
+        touched = [c for c in self.components if set(c.fields) & involved]
+        untouched = [c for c in self.components if not (set(c.fields) & involved)]
+        if not touched:
+            if not predicate({}):
+                raise DecompositionError("assert dropped every world")
+            return WorldSetDecomposition(self.template, list(self.components))
+        merged = touched[0]
+        for component in touched[1:]:
+            merged = merged.merge(component)
+        conditioned = merged.condition(
+            lambda assignment: predicate(assignment))
+        return WorldSetDecomposition(self.template, untouched + [conditioned])
+
+    # -- comparison -----------------------------------------------------------------------------------------------
+
+    def equivalent_to_worldset(self, world_set: WorldSet,
+                               relations: Sequence[str] | None = None,
+                               compare_probabilities: bool = True,
+                               limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> bool:
+        """Check semantic equivalence with an explicit world-set (small inputs)."""
+        materialised = self.to_worldset(limit)
+        names = relations if relations is not None else list(self.template.schemas)
+        return materialised.same_world_contents(
+            world_set, relations=names,
+            compare_probabilities=compare_probabilities and self.is_probabilistic())
+
+    def copy(self) -> "WorldSetDecomposition":
+        """Return a structural copy (components are immutable enough to share)."""
+        template = Template(dict(self.template.schemas), list(self.template.tuples))
+        return WorldSetDecomposition(template, list(self.components))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorldSetDecomposition({len(self.components)} components, "
+                f"~10^{self.log10_world_count():.1f} worlds, "
+                f"{self.storage_size()} stored cells)")

@@ -1,0 +1,87 @@
+"""Unit tests for aggregate functions (repro.relational.aggregates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AggregateError
+from repro.relational.aggregates import (
+    AGGREGATE_NAMES,
+    aggregate_values,
+    create_aggregator,
+)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert AGGREGATE_NAMES == {"count", "sum", "avg", "min", "max"}
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(AggregateError):
+            create_aggregator("median")
+
+
+class TestCount:
+    def test_count_skips_nulls(self):
+        assert aggregate_values("count", [1, None, 2]) == 2
+
+    def test_count_star_counts_nulls(self):
+        aggregator = create_aggregator("count", count_star=True)
+        for value in [1, None, None]:
+            aggregator.accumulate(value)
+        assert aggregator.finalize() == 3
+
+    def test_count_empty_is_zero(self):
+        assert aggregate_values("count", []) == 0
+
+    def test_count_distinct(self):
+        assert aggregate_values("count", [1, 1, 2, None, 2], distinct=True) == 2
+
+
+class TestSum:
+    def test_sum_basic(self):
+        assert aggregate_values("sum", [10, 14, 20]) == 44
+
+    def test_sum_skips_nulls(self):
+        assert aggregate_values("sum", [10, None, 5]) == 15
+
+    def test_sum_of_nothing_is_null(self):
+        assert aggregate_values("sum", []) is None
+        assert aggregate_values("sum", [None, None]) is None
+
+    def test_sum_distinct(self):
+        assert aggregate_values("sum", [5, 5, 10], distinct=True) == 15
+
+    def test_sum_rejects_text(self):
+        with pytest.raises(AggregateError):
+            aggregate_values("sum", ["a"])
+
+
+class TestAvgMinMax:
+    def test_avg(self):
+        assert aggregate_values("avg", [10, 20]) == 15.0
+
+    def test_avg_empty_is_null(self):
+        assert aggregate_values("avg", [None]) is None
+
+    def test_min_max_numbers(self):
+        assert aggregate_values("min", [3, 1, 2]) == 1
+        assert aggregate_values("max", [3, 1, 2]) == 3
+
+    def test_min_max_text(self):
+        assert aggregate_values("min", ["c2", "c4"]) == "c2"
+        assert aggregate_values("max", ["c2", "c4"]) == "c4"
+
+    def test_min_max_skip_nulls(self):
+        assert aggregate_values("min", [None, 5, None]) == 5
+        assert aggregate_values("max", [None]) is None
+
+    def test_figure2_world_sums(self):
+        """The per-world sums of Example 2.8 (44, 49, 50, 55)."""
+        worlds = {
+            "A": [10, 14, 20], "B": [15, 14, 20],
+            "C": [10, 20, 20], "D": [15, 20, 20],
+        }
+        sums = {label: aggregate_values("sum", values)
+                for label, values in worlds.items()}
+        assert sums == {"A": 44, "B": 49, "C": 50, "D": 55}

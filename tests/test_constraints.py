@@ -1,0 +1,84 @@
+"""Unit tests for keys, functional dependencies and repair-group enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintViolationError, SchemaError
+from repro.relational.constraints import (
+    FunctionalDependency,
+    KeyConstraint,
+    check_functional_dependency,
+    check_key,
+    count_key_repairs,
+    fd_violations,
+    iter_attribute_values,
+    key_repair_groups,
+    key_violations,
+)
+from repro.relational.relation import Relation
+
+
+class TestDeclarations:
+    def test_key_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            KeyConstraint(())
+        assert str(KeyConstraint(("A",))) == "KEY(A)"
+
+    def test_fd_requires_both_sides(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency((), ("B",))
+        assert str(FunctionalDependency(("A",), ("B",))) == "A -> B"
+
+
+class TestKeyChecking:
+    def test_figure1_r_violates_key_a(self, relation_r):
+        violations = key_violations(relation_r, ["A"])
+        assert set(violations) == {("a1",), ("a2",)}
+        assert not check_key(relation_r, ["A"])
+
+    def test_key_holds_on_full_key(self, relation_r):
+        assert check_key(relation_r, ["A", "B"])
+
+    def test_raise_on_violation(self, relation_r):
+        with pytest.raises(ConstraintViolationError):
+            check_key(relation_r, ["A"], raise_on_violation=True)
+
+
+class TestFunctionalDependencies:
+    def test_fd_violation_detected(self):
+        relation = Relation(["SSN", "TEL"], [(123, 456), (123, 789)])
+        fd = FunctionalDependency(("SSN",), ("TEL",))
+        assert not check_functional_dependency(relation, fd)
+        assert len(fd_violations(relation, fd)) == 1
+
+    def test_fd_holds(self):
+        relation = Relation(["SSN", "TEL"], [(123, 456), (789, 123)])
+        fd = FunctionalDependency(("SSN",), ("TEL",))
+        assert check_functional_dependency(relation, fd)
+
+    def test_fd_raise_on_violation(self):
+        relation = Relation(["SSN", "TEL"], [(1, 2), (1, 3)])
+        with pytest.raises(ConstraintViolationError):
+            check_functional_dependency(relation,
+                                        FunctionalDependency(("SSN",), ("TEL",)),
+                                        raise_on_violation=True)
+
+
+class TestRepairGroups:
+    def test_groups_preserve_first_appearance_order(self, relation_r):
+        groups = key_repair_groups(relation_r, ["A"])
+        assert [value for value, _ in groups] == [("a1",), ("a2",), ("a3",)]
+        assert [len(rows) for _, rows in groups] == [2, 2, 1]
+
+    def test_repair_count_is_product_of_group_sizes(self, relation_r):
+        assert count_key_repairs(relation_r, ["A"]) == 4
+
+    def test_repair_count_explodes_exponentially(self):
+        rows = [(group, option) for group in range(10) for option in range(3)]
+        relation = Relation(["K", "V"], rows)
+        assert count_key_repairs(relation, ["K"]) == 3 ** 10
+
+    def test_iter_attribute_values_distinct_in_order(self, relation_s):
+        values = list(iter_attribute_values(relation_s, ["C"]))
+        assert values == [("c2",), ("c4",)]

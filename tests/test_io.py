@@ -1,0 +1,106 @@
+"""Unit tests for the CSV and SQLite bridges."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.relational.catalog import Catalog
+from repro.relational.csv_io import (
+    read_csv,
+    relation_from_csv_text,
+    relation_to_csv_text,
+    write_csv,
+)
+from repro.relational.csv_io import write_many_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.sqlite_io import (
+    catalog_from_sqlite,
+    catalog_to_sqlite,
+    relation_from_sqlite,
+    relation_to_sqlite,
+)
+from repro.relational.types import SqlType
+
+
+class TestCsv:
+    def test_round_trip(self, relation_r):
+        text = relation_to_csv_text(relation_r)
+        back = relation_from_csv_text(text, name="R")
+        assert back.bag_equal(relation_r)
+        assert back.schema.names() == ["A", "B", "C", "D"]
+
+    def test_type_inference(self):
+        text = "id,score,name,flag\n1,2.5,alice,true\n2,,bob,false\n"
+        relation = relation_from_csv_text(text)
+        types = relation.schema.types()
+        assert types == [SqlType.INTEGER, SqlType.REAL, SqlType.TEXT,
+                         SqlType.BOOLEAN]
+        assert relation.rows[1][1] is None  # empty cell becomes NULL
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv_text("")
+
+    def test_explicit_schema_arity_checked(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv_text("a,b\n1,2\n", schema=Schema(["a"]))
+
+    def test_file_round_trip(self, tmp_path, relation_s):
+        target = tmp_path / "s.csv"
+        write_csv(relation_s, target)
+        loaded = read_csv(target)
+        assert loaded.bag_equal(relation_s)
+        assert loaded.name == "s"
+
+    def test_write_many(self, tmp_path, relation_r, relation_s):
+        paths = write_many_csv([relation_r, relation_s], tmp_path / "out")
+        assert sorted(p.name for p in paths) == ["R.csv", "S.csv"]
+
+    def test_write_many_requires_names(self, tmp_path):
+        with pytest.raises(SchemaError):
+            write_many_csv([Relation(["A"], [])], tmp_path)
+
+
+class TestSqlite:
+    def test_relation_round_trip(self, relation_r):
+        connection = sqlite3.connect(":memory:")
+        relation_to_sqlite(relation_r, connection)
+        back = relation_from_sqlite(connection, "R")
+        assert back.bag_equal(relation_r)
+        assert back.schema.types()[:2] == [SqlType.TEXT, SqlType.INTEGER]
+
+    def test_boolean_values_stored_as_integers(self):
+        relation = Relation([Column("Flag", SqlType.BOOLEAN)], [(True,), (False,)],
+                            name="Flags")
+        connection = sqlite3.connect(":memory:")
+        relation_to_sqlite(relation, connection)
+        stored = connection.execute('SELECT "Flag" FROM "Flags"').fetchall()
+        assert stored == [(1,), (0,)]
+
+    def test_unknown_table(self):
+        connection = sqlite3.connect(":memory:")
+        with pytest.raises(UnknownRelationError):
+            relation_from_sqlite(connection, "missing")
+
+    def test_unnamed_relation_needs_table_name(self):
+        connection = sqlite3.connect(":memory:")
+        with pytest.raises(SchemaError):
+            relation_to_sqlite(Relation(["A"], []), connection)
+
+    def test_catalog_round_trip(self, tmp_path, figure1_catalog):
+        path = tmp_path / "figure1.db"
+        written = catalog_to_sqlite(figure1_catalog, path)
+        assert sorted(written) == ["R", "S"]
+        loaded = catalog_from_sqlite(path)
+        assert loaded.get("R").bag_equal(figure1_catalog.get("R"))
+        assert loaded.get("S").bag_equal(figure1_catalog.get("S"))
+
+    def test_catalog_partial_load(self, tmp_path, figure1_catalog):
+        path = tmp_path / "figure1.db"
+        catalog_to_sqlite(figure1_catalog, path)
+        loaded = catalog_from_sqlite(path, tables=["S"])
+        assert loaded.names() == ["S"]

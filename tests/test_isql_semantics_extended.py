@@ -1,0 +1,179 @@
+"""Extended I-SQL semantics coverage: interactions between the constructs.
+
+These tests go beyond the paper's worked examples and exercise combinations a
+downstream user would reach for: repeated repairs, choice-of stacked on
+repairs, asserts over weighted worlds, group-worlds-by with certain,
+possible/certain over joins, confidence arithmetic, and view composition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MayBMS
+from repro.datasets import figure1_database
+from repro.errors import UnsupportedFeatureError, WorldSetError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return MayBMS(figure1_database())
+
+
+class TestComposedWorldCreation:
+    def test_repair_then_choice_multiplies_worlds(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A;")
+        result = db.execute("select * from S choice of E;")
+        # 4 repairs x 2 partitions of S
+        assert len(result.world_answers) == 8
+
+    def test_two_successive_repairs_compose(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        db.execute("create table K as select C, E from S repair by key C;")
+        # S violates the key C only for c4 (two tuples) -> 2 repairs per world.
+        assert db.world_count() == 8
+        assert sum(w.probability for w in db.world_set) == pytest.approx(1.0)
+
+    def test_repair_inside_single_query_is_transient(self, db):
+        result = db.execute("select possible B from R repair by key A;")
+        assert sorted(row[0] for row in result.rows()) == [10, 14, 15, 20]
+        assert db.world_count() == 1
+
+    def test_choice_on_derived_table(self, db):
+        result = db.execute(
+            "select certain E from (select C, E from S) as sub choice of C;")
+        assert result.rows() == [("e1",)]
+
+    def test_weighted_repair_of_view(self, db):
+        db.execute("create view RV as select * from R;")
+        result = db.execute(
+            "select conf, A, B from RV repair by key A weight D;")
+        confidences = {row[:2]: row[2] for row in result.rows()}
+        assert confidences[("a1", 10)] == pytest.approx(0.25)
+        assert confidences[("a2", 20)] == pytest.approx(5 / 9)
+
+
+class TestAssertInteractions:
+    def test_assert_on_weighted_choice(self, db):
+        db.execute("create table P as select * from R choice of A weight D;")
+        assert db.world_count() == 3
+        db.execute("create table Q as select * from P assert exists "
+                   "(select * from P where B >= 15);")
+        # The a1 partition has B in {10, 15}, a2 has {14, 20}, a3 has {20}:
+        # every partition contains a tuple with B >= 15, so all three worlds
+        # survive and the probabilities stay normalised.
+        assert db.world_count() == 3
+        assert sum(w.probability for w in db.world_set) == pytest.approx(1.0)
+
+    def test_assert_referencing_other_relations(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        db.execute("create table J as select * from I assert exists "
+                   "(select * from S, I where S.C = I.C);")
+        # Only repairs containing c2 or c4 join with S.
+        assert db.world_count() == 3
+        for world in db.world_set:
+            c_values = {row[2] for row in world.relation("I").rows}
+            assert c_values & {"c2", "c4"}
+
+    def test_assert_true_keeps_every_world_and_probabilities(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        before = [round(w.probability, 6) for w in db.world_set]
+        db.execute("create table J as select * from I assert 1 = 1;")
+        after = [round(w.probability, 6) for w in db.world_set]
+        assert before == after
+
+    def test_assert_false_raises(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A;")
+        with pytest.raises(WorldSetError):
+            db.execute("create table J as select * from I assert 1 = 2;")
+
+
+class TestCrossWorldOperators:
+    def test_possible_over_join(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        result = db.execute(
+            "select possible I.A, S.E from I, S where I.C = S.C;")
+        assert set(map(tuple, result.rows())) == {
+            ("a1", "e1"), ("a2", "e1"), ("a2", "e2")}
+
+    def test_certain_over_join(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        result = db.execute(
+            "select certain I.A from I, S where I.C = S.C;")
+        # No joining tuple occurs in every repair (a1/c2 only in B,D; a2/c4
+        # only in C,D), so the certain answer is empty.
+        assert result.rows() == []
+
+    def test_conf_of_join_condition(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        result = db.execute(
+            "select conf from I, S where I.C = S.C and S.E = 'e2';")
+        # Worlds whose repair contains c4 (the only C joining e2): C and D.
+        assert result.scalar() == pytest.approx(5 / 9)
+
+    def test_possible_distinct_semantics(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A;")
+        result = db.execute("select possible A from I;")
+        # Set semantics: each A value reported once despite appearing in
+        # several worlds.
+        assert sorted(row[0] for row in result.rows()) == ["a1", "a2", "a3"]
+
+    def test_group_worlds_by_with_certain_and_counts(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        result = db.execute(
+            "select certain B from I "
+            "group worlds by (select B from I where A = 'a1');")
+        # Grouping by the a1 choice yields two groups of two worlds each; B=20
+        # (the a3 tuple) is certain in both, the a1-value is certain within
+        # its group.
+        by_label = result.answers_by_label()
+        assert len(result.world_answers) == 4
+        for label, relation in by_label.items():
+            values = {row[0] for row in relation.rows}
+            assert 20 in values
+            assert values & {10, 15}
+
+    def test_conf_rows_carry_conf_column_name(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        result = db.execute("select conf, A from I;")
+        assert result.relation.schema.names()[-1] == "conf"
+
+
+class TestViewComposition:
+    def test_view_over_view(self, db):
+        db.execute("create view V1 as select A, B from R;")
+        db.execute("create view V2 as select A from V1 where B > 14;")
+        result = db.execute("select * from V2;")
+        assert sorted(result.world_answers[0].relation.rows) == [
+            ("a1",), ("a2",), ("a3",)]
+
+    def test_view_with_assert_composes_with_outer_possible(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        db.execute("create view NoC1 as select * from I assert not exists "
+                   "(select * from I where C = 'c1');")
+        possible = db.execute("select possible B from NoC1;")
+        # Only the repairs without c1 survive inside the view, so B=10 is not
+        # a possible value any more.
+        assert sorted(row[0] for row in possible.rows()) == [14, 15, 20]
+        # The session still has all four worlds.
+        assert db.world_count() == 4
+
+    def test_materialising_a_view_freezes_it(self, db):
+        db.execute("create view SView as select * from S;")
+        db.execute("create table Frozen as select * from SView;")
+        db.execute("delete from S where E = 'e2';")
+        assert len(db.relation("Frozen")) == 3
+        assert len(db.relation("S")) == 2
+
+    def test_update_semantics_inside_repaired_worlds(self, db):
+        db.execute("create table I as select A, B, C from R repair by key A weight D;")
+        db.execute("update I set B = B * 10 where A = 'a3';")
+        for world in db.world_set:
+            a3_rows = [row for row in world.relation("I").rows if row[0] == "a3"]
+            assert a3_rows == [("a3", 200, "c5")]
+
+    def test_unsupported_nested_world_operator_has_clear_message(self, db):
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute("select * from R where exists "
+                       "(select possible E from S);")

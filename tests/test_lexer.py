@@ -1,0 +1,111 @@
+"""Unit tests for the SQL / I-SQL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import TokenType
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("select foo from Bar")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[1].value == "foo"
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_isql_keywords_recognised(self):
+        for word in ("possible", "certain", "conf", "repair", "choice",
+                     "assert", "worlds", "weight"):
+            assert tokenize(word)[0].type is TokenType.KEYWORD
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25 1e3 2.5e-2")
+        assert [t.value for t in tokens[:-1]] == [42, 3.25, 1000.0, 0.025]
+        assert tokens[0].type is TokenType.NUMBER
+
+    def test_string_literals_with_escapes(self):
+        token = tokenize("'it''s'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "it's"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"weird name"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "weird name"
+
+    def test_operators_single_and_double(self):
+        assert texts("a <= b <> c || d != e") == [
+            "a", "<=", "b", "<>", "c", "||", "d", "!=", "e"]
+
+    def test_punctuation(self):
+        assert kinds("( ) , ; .")[:-1] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA,
+            TokenType.SEMICOLON, TokenType.DOT]
+
+    def test_star_token(self):
+        assert tokenize("*")[0].type is TokenType.STAR
+
+
+class TestPaperSpecificLexing:
+    def test_primed_identifiers(self):
+        """The paper uses SSN', TEL' and Valid' as identifiers."""
+        tokens = tokenize("select SSN', TEL' from Valid'")
+        identifiers = [t.value for t in tokens if t.type is TokenType.IDENTIFIER]
+        assert identifiers == ["SSN'", "TEL'", "Valid'"]
+
+    def test_primed_identifier_in_comparison(self):
+        tokens = tokenize("t1.SSN' = t2.SSN'")
+        values = [t.text for t in tokens[:-1]]
+        assert values == ["t1", ".", "SSN'", "=", "t2", ".", "SSN'"]
+
+    def test_primed_word_followed_by_string(self):
+        tokens = tokenize("Pos='b'")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENTIFIER, TokenType.OPERATOR, TokenType.STRING]
+
+
+class TestCommentsAndErrors:
+    def test_line_comments_skipped(self):
+        tokens = tokenize("select -- comment here\n 1")
+        assert [t.type for t in tokens[:-1]] == [TokenType.KEYWORD,
+                                                 TokenType.NUMBER]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("select /* multi\nline */ 1")
+        assert len(tokens) == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("select /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("select 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("select @foo")
+
+    def test_positions_reported(self):
+        tokens = tokenize("select\n  foo")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_token_helpers(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("from")
+        operator = tokenize("<=")[0]
+        assert operator.is_operator("<=", ">=")

@@ -1,0 +1,170 @@
+"""Unit tests for the Relation container and its relational operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import SqlType
+
+
+@pytest.fixture
+def numbers():
+    return Relation(Schema([Column("K", SqlType.INTEGER),
+                            Column("V", SqlType.TEXT)]),
+                    [(1, "one"), (2, "two"), (2, "two"), (3, "three")],
+                    name="numbers")
+
+
+class TestConstruction:
+    def test_rows_are_coerced_to_schema(self):
+        relation = Relation([Column("A", SqlType.INTEGER)], [("5",)])
+        assert relation.rows == [(5,)]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(["A", "B"], [(1,)])
+
+    def test_bad_value_reports_column(self):
+        with pytest.raises(TypeMismatchError) as excinfo:
+            Relation([Column("Age", SqlType.INTEGER)], [("old",)])
+        assert "Age" in str(excinfo.value)
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts(["A", "B"], [{"A": 1, "B": 2}, {"A": 3}])
+        assert relation.rows == [(1, 2), (3, None)]
+
+    def test_empty_constructor(self):
+        assert len(Relation.empty(["A"])) == 0
+
+
+class TestEquality:
+    def test_bag_vs_set_equality(self, numbers):
+        duplicate_free = numbers.distinct()
+        assert numbers.set_equal(duplicate_free)
+        assert not numbers.bag_equal(duplicate_free)
+
+    def test_eq_requires_same_column_names(self, numbers):
+        renamed = numbers.rename_columns(["X", "Y"])
+        assert numbers != renamed
+        assert numbers.bag_equal(renamed)  # contents still compare
+
+    def test_fingerprint_is_order_insensitive(self):
+        first = Relation(["A"], [(1,), (2,)])
+        second = Relation(["A"], [(2,), (1,)])
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestMutation:
+    def test_insert_and_delete(self, numbers):
+        numbers.insert((4, "four"))
+        assert (4, "four") in numbers.rows
+        removed = numbers.delete_where(lambda row: row[0] == 2)
+        assert removed == 2
+        assert all(row[0] != 2 for row in numbers.rows)
+
+    def test_update_where(self, numbers):
+        changed = numbers.update_where(lambda row: row[0] == 1,
+                                       lambda row: (row[0], "ONE"))
+        assert changed == 1
+        assert (1, "ONE") in numbers.rows
+
+
+class TestCoreOperations:
+    def test_select(self, numbers):
+        assert len(numbers.select(lambda row: row[0] > 1)) == 3
+
+    def test_project_keeps_duplicates(self, numbers):
+        projected = numbers.project([1])
+        assert projected.schema.names() == ["V"]
+        assert len(projected) == 4
+
+    def test_project_columns_by_name(self, numbers):
+        assert numbers.project_columns(["V", "K"]).schema.names() == ["V", "K"]
+
+    def test_distinct(self, numbers):
+        assert len(numbers.distinct()) == 3
+
+    def test_extend(self, numbers):
+        extended = numbers.extend(Column("Doubled"), lambda row: row[0] * 2)
+        assert extended.schema.names()[-1] == "Doubled"
+        assert extended.rows[0][-1] == 2
+
+    def test_cross_join(self):
+        left = Relation(Schema(["A"]).with_qualifier("l"), [(1,), (2,)])
+        right = Relation(Schema(["B"]).with_qualifier("r"), [(10,), (20,)])
+        product = left.cross_join(right)
+        assert len(product) == 4
+        assert product.schema.qualified_names() == ["l.A", "r.B"]
+
+    def test_equi_join_skips_nulls(self):
+        left = Relation(Schema(["C"]).with_qualifier("l"),
+                        [("c2",), ("c9",), (None,)])
+        right = Relation(Schema([Column("C"), Column("E")]).with_qualifier("r"),
+                         [("c2", "e1"), (None, "e9")])
+        joined = left.equi_join(right, ["C"], ["C"])
+        assert joined.rows == [("c2", "c2", "e1")]
+
+    def test_union_intersect_difference_set_semantics(self):
+        first = Relation(["A"], [(1,), (2,), (2,)])
+        second = Relation(["A"], [(2,), (3,)])
+        assert sorted(first.union(second).rows) == [(1,), (2,), (3,)]
+        assert first.intersect(second).rows == [(2,)]
+        assert first.difference(second).rows == [(1,)]
+
+    def test_union_all_keeps_duplicates(self):
+        first = Relation(["A"], [(1,), (1,)])
+        second = Relation(["A"], [(1,)])
+        assert len(first.union(second, distinct=False)) == 3
+
+    def test_bag_difference_respects_multiplicity(self):
+        first = Relation(["A"], [(1,), (1,), (2,)])
+        second = Relation(["A"], [(1,)])
+        assert sorted(first.difference(second, distinct=False).rows) == [(1,), (2,)]
+
+    def test_set_ops_require_same_arity(self):
+        with pytest.raises(SchemaError):
+            Relation(["A"], []).union(Relation(["A", "B"], []))
+
+    def test_order_by_with_nulls_and_mixed_directions(self):
+        relation = Relation(["A", "B"], [(2, "x"), (None, "y"), (1, "z")])
+        ordered = relation.order_by([(0, False)])
+        assert [row[0] for row in ordered.rows] == [None, 1, 2]
+        descending = relation.order_by([(0, True)])
+        assert [row[0] for row in descending.rows] == [2, 1, None]
+
+    def test_limit_and_offset(self, numbers):
+        assert len(numbers.limit(2)) == 2
+        assert numbers.limit(2, offset=3).rows == [(3, "three")]
+        assert len(numbers.limit(None, offset=1)) == 3
+
+    def test_group_by(self, numbers):
+        groups = numbers.group_by([0])
+        assert set(groups) == {(1,), (2,), (3,)}
+        assert len(groups[(2,)]) == 2
+
+    def test_column_values_and_contains(self, numbers):
+        assert numbers.column_values("K") == [1, 2, 2, 3]
+        assert numbers.contains((1, "one"))
+        assert not numbers.contains((9, "nine"))
+
+
+class TestDisplay:
+    def test_pretty_contains_headers_and_rows(self, numbers):
+        text = numbers.pretty()
+        assert "K" in text and "V" in text
+        assert "three" in text
+
+    def test_pretty_truncation_notice(self, numbers):
+        text = numbers.pretty(max_rows=1)
+        assert "more rows" in text
+
+    def test_to_dicts(self, numbers):
+        assert numbers.to_dicts()[0] == {"K": 1, "V": "one"}
+
+    def test_with_name_requalifies_columns(self, numbers):
+        renamed = numbers.with_name("n2")
+        assert renamed.schema.qualified_names() == ["n2.K", "n2.V"]
+        assert renamed.name == "n2"

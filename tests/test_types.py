@@ -1,0 +1,158 @@
+"""Unit tests for the SQL value-type helpers (repro.relational.types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    SqlType,
+    coerce_value,
+    format_value,
+    infer_type,
+    is_null,
+    ordering_key,
+    sql_compare,
+    sql_equal,
+    three_valued_and,
+    three_valued_not,
+    three_valued_or,
+)
+
+
+class TestSqlType:
+    def test_from_name_accepts_synonyms(self):
+        assert SqlType.from_name("int") is SqlType.INTEGER
+        assert SqlType.from_name("VARCHAR") is SqlType.TEXT
+        assert SqlType.from_name("Double Precision") is SqlType.REAL
+        assert SqlType.from_name("bool") is SqlType.BOOLEAN
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType.from_name("blob")
+
+    def test_str_is_lower_case_name(self):
+        assert str(SqlType.INTEGER) == "integer"
+
+
+class TestInference:
+    def test_null_infers_any(self):
+        assert infer_type(None) is SqlType.ANY
+
+    def test_bool_is_not_integer(self):
+        assert infer_type(True) is SqlType.BOOLEAN
+
+    def test_numbers_and_text(self):
+        assert infer_type(3) is SqlType.INTEGER
+        assert infer_type(3.5) is SqlType.REAL
+        assert infer_type("x") is SqlType.TEXT
+
+    def test_unsupported_python_type(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestCoercion:
+    def test_null_passes_through_every_type(self):
+        for declared in SqlType:
+            assert coerce_value(None, declared) is None
+
+    def test_integer_from_string_and_float(self):
+        assert coerce_value("42", SqlType.INTEGER) == 42
+        assert coerce_value(7.0, SqlType.INTEGER) == 7
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7.5, SqlType.INTEGER)
+
+    def test_real_from_int_and_string(self):
+        assert coerce_value(3, SqlType.REAL) == 3.0
+        assert coerce_value(" 2.5 ", SqlType.REAL) == 2.5
+
+    def test_text_from_number(self):
+        assert coerce_value(12, SqlType.TEXT) == "12"
+        assert coerce_value(True, SqlType.TEXT) == "true"
+
+    def test_boolean_parsing(self):
+        assert coerce_value("yes", SqlType.BOOLEAN) is True
+        assert coerce_value("0", SqlType.BOOLEAN) is False
+        assert coerce_value(1, SqlType.BOOLEAN) is True
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", SqlType.BOOLEAN)
+
+    def test_any_still_validates_python_type(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(object(), SqlType.ANY)
+
+
+class TestEqualityAndComparison:
+    def test_null_equality_is_unknown(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal(None, None) is None
+
+    def test_numeric_equality_across_int_and_float(self):
+        assert sql_equal(1, 1.0) is True
+        assert sql_equal(2, 3) is False
+
+    def test_heterogeneous_equality_is_false(self):
+        assert sql_equal(1, "1") is False
+
+    def test_compare_orders_numbers(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_compare_with_null_is_unknown(self):
+        assert sql_compare(None, 1) is None
+
+    def test_compare_orders_across_types_deterministically(self):
+        assert sql_compare(1, "a") == -1  # numbers before strings
+        assert sql_compare("a", True) == -1  # strings before booleans
+
+    def test_ordering_key_sorts_nulls_first(self):
+        values = ["b", None, 2, "a", 1]
+        ordered = sorted(values, key=ordering_key)
+        assert ordered[0] is None
+        assert ordered[1:3] == [1, 2]
+        assert ordered[3:] == ["a", "b"]
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert three_valued_and(True, True) is True
+        assert three_valued_and(True, False) is False
+        assert three_valued_and(False, None) is False
+        assert three_valued_and(True, None) is None
+        assert three_valued_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert three_valued_or(False, False) is False
+        assert three_valued_or(False, True) is True
+        assert three_valued_or(True, None) is True
+        assert three_valued_or(False, None) is None
+        assert three_valued_or(None, None) is None
+
+    def test_not(self):
+        assert three_valued_not(True) is False
+        assert three_valued_not(False) is True
+        assert three_valued_not(None) is None
+
+
+class TestFormatting:
+    def test_null_renders_as_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_integral_float_drops_decimal(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.25) == "3.25"
+
+    def test_booleans(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"

@@ -1,0 +1,209 @@
+"""Unit tests for the explicit world-set backend (worlds, world-sets, probability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProbabilityError, WorldSetError
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.worldset import (
+    World,
+    WorldSet,
+    normalize,
+    probabilities_close,
+    validate_probabilities,
+    weights_to_probabilities,
+)
+
+
+def make_world(value, probability=None, label=None):
+    return World({"T": Relation(["V"], [(value,)])}, probability, label)
+
+
+class TestProbabilityHelpers:
+    def test_validate_non_probabilistic(self):
+        assert validate_probabilities([None, None]) is False
+
+    def test_validate_probabilistic(self):
+        assert validate_probabilities([0.4, 0.6]) is True
+
+    def test_validate_rejects_mixture(self):
+        with pytest.raises(ProbabilityError):
+            validate_probabilities([0.4, None])
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ProbabilityError):
+            validate_probabilities([-0.1, 1.1])
+
+    def test_validate_rejects_unnormalised(self):
+        with pytest.raises(ProbabilityError):
+            validate_probabilities([0.2, 0.2])
+        assert validate_probabilities([0.2, 0.2], require_normalized=False)
+
+    def test_normalize(self):
+        assert normalize([1, 3]) == [0.25, 0.75]
+        with pytest.raises(ProbabilityError):
+            normalize([0.0, 0.0])
+
+    def test_weights_to_probabilities(self):
+        assert weights_to_probabilities([2, 6]) == [0.25, 0.75]
+        with pytest.raises(ProbabilityError):
+            weights_to_probabilities([-1, 2])
+        with pytest.raises(ProbabilityError):
+            weights_to_probabilities([0, 0])
+
+    def test_probabilities_close(self):
+        assert probabilities_close([0.5, 0.5], [0.5000001, 0.4999999])
+        assert not probabilities_close([0.5], [0.5, 0.5])
+
+
+class TestWorld:
+    def test_relation_access(self):
+        world = make_world(1, label="A")
+        assert world.has_relation("T")
+        assert world.relation("T").rows == [(1,)]
+        assert world.relation_names() == ["T"]
+
+    def test_copy_is_independent_and_keeps_probability(self):
+        world = make_world(1, probability=0.5, label="A")
+        clone = world.copy()
+        clone.catalog.get("T").insert((2,))
+        assert len(world.relation("T")) == 1
+        assert clone.probability == 0.5
+        assert world.copy(probability=None).probability is None
+
+    def test_with_and_without_relation(self):
+        world = make_world(1)
+        extended = world.with_relation("U", Relation(["X"], [(9,)]))
+        assert extended.has_relation("U") and not world.has_relation("U")
+        assert not extended.without_relation("U").has_relation("U")
+
+    def test_scaled(self):
+        assert make_world(1, 0.5).scaled(0.5).probability == 0.25
+        assert make_world(1).scaled(0.5).probability is None
+
+    def test_same_contents(self):
+        assert make_world(1).same_contents(make_world(1, probability=0.3))
+        assert not make_world(1).same_contents(make_world(2))
+
+    def test_describe_mentions_label_and_probability(self):
+        text = make_world(1, 0.25, "B").describe()
+        assert "B" in text and "0.25" in text
+
+
+class TestWorldSetBasics:
+    def test_single(self):
+        world_set = WorldSet.single({"T": Relation(["V"], [(1,)])}, label="A")
+        assert len(world_set) == 1
+        assert world_set[0].label == "A"
+
+    def test_probabilities_and_labels(self):
+        world_set = WorldSet([make_world(1, 0.5, "A"), make_world(2, 0.5, "B")])
+        assert world_set.is_probabilistic()
+        assert world_set.probabilities() == [0.5, 0.5]
+        assert world_set.labels() == ["A", "B"]
+        assert world_set.world_by_label("B").relation("T").rows == [(2,)]
+        with pytest.raises(WorldSetError):
+            world_set.world_by_label("Z")
+
+    def test_validate_empty_rejected(self):
+        with pytest.raises(WorldSetError):
+            WorldSet([]).validate()
+
+    def test_relabel(self):
+        world_set = WorldSet([make_world(i) for i in range(30)])
+        world_set.relabel()
+        assert world_set.labels()[0] == "A"
+        assert world_set.labels()[26] == "A1"
+
+    def test_total_tuples(self):
+        world_set = WorldSet([make_world(1), make_world(2)])
+        assert world_set.total_tuples() == 2
+
+
+class TestWorldSetOperations:
+    def test_map_and_materialize(self):
+        world_set = WorldSet([make_world(1, label="A"), make_world(2, label="B")])
+        extended = world_set.materialize(
+            "Doubled", lambda world: Relation(
+                ["V"], [(row[0] * 2,) for row in world.relation("T").rows]))
+        assert [w.relation("Doubled").rows for w in extended] == [[(2,)], [(4,)]]
+        # Input worlds untouched.
+        assert not world_set[0].has_relation("Doubled")
+
+    def test_expand_with_weights_multiplies_probabilities(self):
+        world_set = WorldSet([make_world(0, probability=1.0, label="A")])
+
+        def splitter(world):
+            return [(world.with_relation("T", Relation(["V"], [(1,)])), 0.25),
+                    (world.with_relation("T", Relation(["V"], [(2,)])), 0.75)]
+
+        expanded = world_set.expand(splitter)
+        assert expanded.probabilities() == [0.25, 0.75]
+        assert expanded.labels() == ["A", "B"]
+
+    def test_expand_without_weights_keeps_non_probabilistic(self):
+        world_set = WorldSet([make_world(0)])
+        expanded = world_set.expand(
+            lambda world: [(world.copy(), None), (world.copy(), None)])
+        assert expanded.probabilities() == [None, None]
+
+    def test_expand_rejects_empty_split(self):
+        world_set = WorldSet([make_world(0)])
+        with pytest.raises(WorldSetError):
+            world_set.expand(lambda world: [])
+
+    def test_filter_worlds_renormalises(self):
+        world_set = WorldSet([make_world(1, 0.25, "A"), make_world(2, 0.25, "B"),
+                              make_world(3, 0.5, "C")])
+        filtered = world_set.filter_worlds(
+            lambda world: world.relation("T").rows[0][0] >= 2)
+        assert filtered.labels() == ["B", "C"]
+        assert probabilities_close(filtered.probabilities(), [1 / 3, 2 / 3])
+
+    def test_filter_dropping_all_worlds_raises(self):
+        world_set = WorldSet([make_world(1, 1.0)])
+        with pytest.raises(WorldSetError):
+            world_set.filter_worlds(lambda world: False)
+
+    def test_possible_and_certain(self):
+        world_set = WorldSet([make_world(1), make_world(2)])
+        query = lambda world: world.relation("T")
+        assert sorted(world_set.possible(query).rows) == [(1,), (2,)]
+        assert world_set.certain(query).rows == []
+
+    def test_certain_keeps_shared_tuples(self):
+        shared = World({"T": Relation(["V"], [(1,), (7,)])})
+        other = World({"T": Relation(["V"], [(7,)])})
+        world_set = WorldSet([shared, other])
+        assert world_set.certain(lambda w: w.relation("T")).rows == [(7,)]
+
+    def test_tuple_confidence_uniform_when_non_probabilistic(self):
+        world_set = WorldSet([make_world(1), make_world(1), make_world(2)])
+        confidences = {row[0]: row[1] for row in
+                       world_set.tuple_confidence(
+                           lambda w: w.relation("T")).rows}
+        assert confidences[1] == pytest.approx(2 / 3)
+        assert confidences[2] == pytest.approx(1 / 3)
+
+    def test_event_confidence(self):
+        world_set = WorldSet([make_world(1, 0.25), make_world(2, 0.75)])
+        probability = world_set.event_confidence(
+            lambda world: world.relation("T").rows[0][0] == 2)
+        assert probability == pytest.approx(0.75)
+
+    def test_group_worlds_by(self):
+        world_set = WorldSet([make_world(1, label="A"), make_world(2, label="B"),
+                              make_world(1, label="C")])
+        groups = world_set.group_worlds_by(
+            lambda world: world.relation("T").rows[0][0])
+        assert [key for key, _ in groups] == [1, 2]
+        assert [len(group) for _, group in groups] == [2, 1]
+
+    def test_same_world_contents_order_insensitive(self):
+        first = WorldSet([make_world(1, 0.5), make_world(2, 0.5)])
+        second = WorldSet([make_world(2, 0.5), make_world(1, 0.5)])
+        assert first.same_world_contents(second, compare_probabilities=True)
+        third = WorldSet([make_world(1, 0.5), make_world(3, 0.5)])
+        assert not first.same_world_contents(third)

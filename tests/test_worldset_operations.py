@@ -1,0 +1,107 @@
+"""Unit tests for repair-by-key and choice-of on the explicit backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProbabilityError, WorldSetError
+from repro.relational.relation import Relation
+from repro.worldset import (
+    WorldSet,
+    choice_of,
+    choice_relation_worlds,
+    repair_by_key,
+    repair_relation_worlds,
+)
+
+
+class TestRepairRelationWorlds:
+    def test_figure2_repairs_unweighted(self, relation_r):
+        repairs = repair_relation_worlds(relation_r, ["A"],
+                                         output_columns=["A", "B", "C"])
+        assert len(repairs) == 4
+        assert all(probability is None for _, probability in repairs)
+        contents = {tuple(sorted(relation.rows)) for relation, _ in repairs}
+        assert tuple(sorted([("a1", 10, "c1"), ("a2", 14, "c3"),
+                             ("a3", 20, "c5")])) in contents
+
+    def test_figure2_repairs_weighted_probabilities(self, relation_r):
+        repairs = repair_relation_worlds(relation_r, ["A"], weight="D",
+                                         output_columns=["A", "B", "C"])
+        probabilities = sorted(round(p, 4) for _, p in repairs)
+        assert probabilities == [0.1111, 0.1389, 0.3333, 0.4167]
+        assert sum(p for _, p in repairs) == pytest.approx(1.0)
+
+    def test_every_repair_picks_one_tuple_per_group(self, relation_r):
+        for relation, _ in repair_relation_worlds(relation_r, ["A"]):
+            keys = [row[0] for row in relation.rows]
+            assert sorted(keys) == ["a1", "a2", "a3"]
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(WorldSetError):
+            repair_relation_worlds(Relation(["A", "B"], []), ["A"])
+
+    def test_non_numeric_weight_rejected(self):
+        relation = Relation(["A", "W"], [("x", "heavy"), ("x", "light")])
+        with pytest.raises(ProbabilityError):
+            repair_relation_worlds(relation, ["A"], weight="W")
+
+    def test_zero_weight_group_rejected(self):
+        relation = Relation(["A", "W"], [("x", 0), ("x", 0)])
+        with pytest.raises(ProbabilityError):
+            repair_relation_worlds(relation, ["A"], weight="W")
+
+
+class TestChoiceRelationWorlds:
+    def test_partitions_by_value(self, relation_s):
+        partitions = choice_relation_worlds(relation_s, ["E"])
+        assert len(partitions) == 2
+        sizes = sorted(len(relation) for relation, _ in partitions)
+        assert sizes == [1, 2]
+
+    def test_weighted_partition_probabilities(self, relation_r):
+        partitions = choice_relation_worlds(relation_r, ["A"], weight="D")
+        probabilities = [round(p, 4) for _, p in partitions]
+        assert probabilities == [round(8 / 23, 4), round(9 / 23, 4),
+                                 round(6 / 23, 4)]
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(WorldSetError):
+            choice_relation_worlds(Relation(["A"], []), ["A"])
+
+
+class TestWorldSetLevelOperations:
+    def test_repair_by_key_keeps_parent_relations(self, figure1_catalog):
+        world_set = WorldSet.single(figure1_catalog)
+        repaired = repair_by_key(world_set, "R", ["A"], target_name="I")
+        assert len(repaired) == 4
+        for world in repaired:
+            assert world.has_relation("R") and world.has_relation("S")
+            assert world.has_relation("I")
+
+    def test_repair_by_key_weighted_matches_figure2(self, figure1_catalog,
+                                                    figure2_worlds):
+        world_set = WorldSet.single(figure1_catalog)
+        repaired = repair_by_key(world_set, "R", ["A"], weight="D",
+                                 target_name="I", output_columns=["A", "B", "C"])
+        assert repaired.same_world_contents(figure2_worlds, relations=["I"],
+                                            compare_probabilities=True)
+
+    def test_repair_composes_across_existing_worlds(self, figure1_catalog):
+        world_set = WorldSet.single(figure1_catalog)
+        once = repair_by_key(world_set, "R", ["A"], target_name="I")
+        twice = choice_of(once, "S", ["E"], target_name="Spart")
+        # 4 repairs x 2 partitions = 8 worlds
+        assert len(twice) == 8
+
+    def test_choice_of_probabilities_example_2_7(self, figure1_catalog):
+        world_set = WorldSet.single(figure1_catalog)
+        chosen = choice_of(world_set, "R", ["A"], weight="D")
+        assert [round(p, 2) for p in chosen.probabilities()] == [0.35, 0.39, 0.26]
+
+    def test_choice_of_replaces_relation_in_new_worlds(self, figure1_catalog):
+        world_set = WorldSet.single(figure1_catalog)
+        chosen = choice_of(world_set, "S", ["E"])
+        for world in chosen:
+            values = {row[1] for row in world.relation("S").rows}
+            assert len(values) == 1  # each world holds a single E-partition

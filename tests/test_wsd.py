@@ -1,0 +1,213 @@
+"""Unit tests for world-set decompositions: components, templates, WSDs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DecompositionError, ProbabilityError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.wsd import (
+    Alternative,
+    Component,
+    Field,
+    Template,
+    WorldSetDecomposition,
+    from_choice_of,
+    from_key_repair,
+    from_tuple_independent,
+    from_worldset,
+)
+
+
+def make_field(i, attribute="V", relation="T"):
+    return Field(relation, i, attribute)
+
+
+class TestComponent:
+    def test_construction_and_size(self):
+        component = Component([make_field(0)], [(1,), (2,), (3,)])
+        assert len(component) == 3
+        assert component.arity() == 1
+        assert component.storage_size() == 3
+        assert not component.is_probabilistic()
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DecompositionError):
+            Component([make_field(0)], [(1, 2)])
+
+    def test_empty_fields_or_alternatives_rejected(self):
+        with pytest.raises(DecompositionError):
+            Component([], [(1,)])
+        with pytest.raises(DecompositionError):
+            Component([make_field(0)], [])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(DecompositionError):
+            Component([make_field(0), make_field(0)], [(1, 2)])
+
+    def test_probability_validation(self):
+        Component([make_field(0)], [Alternative((1,), 0.5), Alternative((2,), 0.5)])
+        with pytest.raises(ProbabilityError):
+            Component([make_field(0)],
+                      [Alternative((1,), 0.5), Alternative((2,), 0.2)])
+        with pytest.raises(ProbabilityError):
+            Component([make_field(0)],
+                      [Alternative((1,), 0.5), Alternative((2,))])
+
+    def test_values_and_marginal(self):
+        component = Component([make_field(0)],
+                              [Alternative((1,), 0.25), Alternative((2,), 0.75)])
+        assert component.values_of(make_field(0)) == [1, 2]
+        assert component.marginal(make_field(0)) == {1: 0.25, 2: 0.75}
+
+    def test_marginal_uniform_when_unweighted(self):
+        component = Component([make_field(0)], [(1,), (2,), (1,)])
+        marginal = component.marginal(make_field(0))
+        assert marginal[1] == pytest.approx(2 / 3)
+
+    def test_condition_renormalises(self):
+        component = Component([make_field(0)],
+                              [Alternative((1,), 0.25), Alternative((2,), 0.75)])
+        conditioned = component.condition(lambda a: a[make_field(0)] == 2)
+        assert conditioned.alternatives[0].probability == pytest.approx(1.0)
+        with pytest.raises(DecompositionError):
+            component.condition(lambda a: False)
+
+    def test_project_merges_duplicates(self):
+        f0, f1 = make_field(0), make_field(1)
+        component = Component([f0, f1], [Alternative((1, "x"), 0.5),
+                                         Alternative((1, "y"), 0.25),
+                                         Alternative((2, "x"), 0.25)])
+        projected = component.project([f0])
+        assert projected.marginal(f0) == {1: 0.75, 2: 0.25}
+
+    def test_merge_requires_disjoint_fields(self):
+        first = Component([make_field(0)], [Alternative((1,), 1.0)])
+        second = Component([make_field(1)], [Alternative((2,), 0.5),
+                                             Alternative((3,), 0.5)])
+        merged = first.merge(second)
+        assert merged.arity() == 2 and len(merged) == 2
+        with pytest.raises(DecompositionError):
+            first.merge(first)
+
+    def test_equality_ignores_field_order(self):
+        f0, f1 = make_field(0), make_field(1)
+        first = Component([f0, f1], [(1, "x"), (2, "y")])
+        second = Component([f1, f0], [("x", 1), ("y", 2)])
+        assert first == second
+
+
+class TestTemplate:
+    def test_add_relation_and_tuple(self):
+        template = Template()
+        template.add_relation("T", Schema(["A", "B"]))
+        field = make_field(0, "B")
+        template.add_tuple("T", ["a", field])
+        assert template.all_fields() == {field}
+        assert template.constant_cell_count() == 1
+
+    def test_arity_checked(self):
+        template = Template()
+        template.add_relation("T", Schema(["A"]))
+        with pytest.raises(DecompositionError):
+            template.add_tuple("T", ["a", "b"])
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(DecompositionError):
+            Template().add_tuple("T", ["a"])
+
+
+class TestWorldSetDecomposition:
+    def build_simple(self):
+        """Two independent binary fields -> four worlds."""
+        template = Template()
+        template.add_relation("T", Schema(["A", "B"]))
+        f_a = Field("T", 0, "A")
+        f_b = Field("T", 0, "B")
+        template.add_tuple("T", [f_a, f_b])
+        components = [
+            Component([f_a], [Alternative((1,), 0.5), Alternative((2,), 0.5)]),
+            Component([f_b], [Alternative(("x",), 0.25), Alternative(("y",), 0.75)]),
+        ]
+        return WorldSetDecomposition(template, components), f_a, f_b
+
+    def test_world_count_and_storage(self):
+        wsd, _, _ = self.build_simple()
+        assert wsd.world_count() == 4
+        assert wsd.storage_size() == 4
+        assert wsd.is_probabilistic()
+
+    def test_field_covered_once(self):
+        template = Template()
+        template.add_relation("T", Schema(["A"]))
+        f = Field("T", 0, "A")
+        template.add_tuple("T", [f])
+        with pytest.raises(DecompositionError):
+            WorldSetDecomposition(template, [
+                Component([f], [(1,)]), Component([f], [(2,)])])
+        with pytest.raises(DecompositionError):
+            WorldSetDecomposition(template, [])  # field not covered
+
+    def test_enumeration_and_probabilities(self):
+        wsd, f_a, f_b = self.build_simple()
+        worlds = list(wsd.iter_assignments())
+        assert len(worlds) == 4
+        total = sum(probability for _, probability in worlds)
+        assert total == pytest.approx(1.0)
+        world_set = wsd.to_worldset()
+        assert len(world_set) == 4
+
+    def test_enumeration_limit_guard(self):
+        wsd, _, _ = self.build_simple()
+        with pytest.raises(DecompositionError):
+            wsd.to_worldset(limit=2)
+
+    def test_world_probability(self):
+        wsd, f_a, f_b = self.build_simple()
+        assert wsd.world_probability({f_a: 1, f_b: "y"}) == pytest.approx(0.375)
+        with pytest.raises(DecompositionError):
+            wsd.world_probability({f_a: 99, f_b: "y"})
+
+    def test_possible_and_certain_values(self):
+        wsd, f_a, f_b = self.build_simple()
+        assert wsd.possible_values(f_a) == {1, 2}
+        assert wsd.certain_value(f_a) is None
+        single = Component([Field("T", 1, "A")], [Alternative((7,), 1.0)])
+        template = wsd.template
+        template.add_tuple("T", [Field("T", 1, "A"), "const"])
+        bigger = WorldSetDecomposition(template, wsd.components + [single])
+        assert bigger.certain_value(Field("T", 1, "A")) == 7
+
+    def test_tuple_confidence(self):
+        wsd, f_a, f_b = self.build_simple()
+        assert wsd.tuple_confidence("T", (1, "x")) == pytest.approx(0.125)
+        assert wsd.tuple_confidence("T", (2, "y")) == pytest.approx(0.375)
+        assert wsd.tuple_confidence("T", (9, "z")) == 0.0
+
+    def test_event_confidence_only_touches_relevant_components(self):
+        wsd, f_a, f_b = self.build_simple()
+        probability = wsd.event_confidence(lambda a: a[f_a] == 2, [f_a])
+        assert probability == pytest.approx(0.5)
+
+    def test_condition_merges_components(self):
+        wsd, f_a, f_b = self.build_simple()
+        conditioned = wsd.condition(
+            lambda a: not (a[f_a] == 1 and a[f_b] == "x"), [f_a, f_b])
+        assert conditioned.world_count() == 3
+        assert len(conditioned.components) == 1
+        total = sum(p for _, p in conditioned.iter_assignments())
+        assert total == pytest.approx(1.0)
+
+    def test_instantiate_respects_presence_fields(self):
+        template = Template()
+        template.add_relation("T", Schema(["A"]))
+        presence = Field("T", 0, "__exists__")
+        template.add_tuple("T", ["a"], presence=presence)
+        wsd = WorldSetDecomposition(template, [
+            Component([presence], [Alternative((True,), 0.6),
+                                   Alternative((False,), 0.4)])])
+        worlds = wsd.to_worldset()
+        sizes = sorted(len(world.relation("T")) for world in worlds)
+        assert sizes == [0, 1]
+        assert wsd.tuple_confidence("T", ("a",)) == pytest.approx(0.6)
