@@ -8,14 +8,45 @@ corresponding figure or example reports, so running::
 
 regenerates the paper's artefacts on stdout.  EXPERIMENTS.md records the
 printed values next to the paper's.
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the sweep parameters to tiny grids,
+so CI can run the whole benchmark suite in seconds as a smoke test (the
+perf numbers are meaningless in that mode, but the code paths and the
+correctness assertions are fully exercised).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import MayBMS
 from repro.datasets import cleaning_relation_r, figure1_database, figure3_whale_worlds
+from repro.workloads import DirtyRelationSpec
+
+#: True when the benchmarks run as a CI smoke test with tiny sweeps.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in {
+    "1", "true", "yes", "on"}
+
+
+def scalability_sweep_parameters() -> dict:
+    """Keyword arguments for the SCALE-1 sweep (tiny under smoke mode)."""
+    if BENCH_SMOKE:
+        # Keep one point past the explicit limit so the infeasible branch
+        # of the latency series is exercised even in smoke mode.
+        return {"groups": (2, 5), "options": (2,), "explicit_limit": 16}
+    return {"groups": (2, 4, 6, 8, 10, 12), "options": (2, 4),
+            "explicit_limit": 5000}
+
+
+def scale2_specs() -> tuple[DirtyRelationSpec, DirtyRelationSpec]:
+    """The (explicit-feasible, enumeration-infeasible) SCALE-2 workloads."""
+    if BENCH_SMOKE:
+        return (DirtyRelationSpec(groups=3, options=2, seed=3),
+                DirtyRelationSpec(groups=12, options=2, seed=3))
+    return (DirtyRelationSpec(groups=8, options=2, seed=3),
+            DirtyRelationSpec(groups=60, options=4, seed=3))
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

@@ -15,14 +15,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import DirtyRelationSpec, dirty_key_relation
+from repro.workloads import dirty_key_relation
 from repro.worldset import WorldSet, repair_by_key
 from repro.wsd import from_key_repair
 
-from conftest import print_table
+from conftest import print_table, scale2_specs
 
-FEASIBLE_SPEC = DirtyRelationSpec(groups=8, options=2, seed=3)
-LARGE_SPEC = DirtyRelationSpec(groups=60, options=4, seed=3)
+FEASIBLE_SPEC, LARGE_SPEC = scale2_specs()
 
 
 def explicit_confidences(relation, rows):

@@ -8,8 +8,11 @@ MayBMS system"* (Antova, Koch, Olteanu - VLDB 2007).  It provides:
 * an SQL / I-SQL parser (:mod:`repro.sqlparser`),
 * the explicit possible-worlds backend (:mod:`repro.worldset`),
 * world-set decompositions, the compact representation of the companion
-  papers (:mod:`repro.wsd`),
-* the I-SQL engine and the :class:`~repro.core.session.MayBMS` session
+  papers, plus a WSD-native query executor that answers I-SQL directly on
+  the decomposition without materialising worlds (:mod:`repro.wsd`),
+* the I-SQL engine, the execution-backend abstraction and the
+  :class:`~repro.core.session.MayBMS` session — open it with
+  ``MayBMS(backend="wsd")`` to run on the compact representation
   (:mod:`repro.core`),
 * the paper's datasets (:mod:`repro.datasets`), data-cleaning and
   moving-object toolkits (:mod:`repro.cleaning`, :mod:`repro.tracking`) and
@@ -26,11 +29,13 @@ Quickstart::
     print(db.execute("select possible B from I;").pretty())
 """
 
+from .core.backends import ExecutionBackend, ExplicitBackend, WsdBackend
 from .core.results import StatementResult, WorldAnswer
 from .core.session import MayBMS
 from .errors import (
     AnalysisError,
     ConstraintViolationError,
+    EnumerationLimitError,
     ExecutionError,
     ExpressionError,
     ParseError,
@@ -56,7 +61,10 @@ __all__ = [
     "Catalog",
     "Column",
     "ConstraintViolationError",
+    "EnumerationLimitError",
+    "ExecutionBackend",
     "ExecutionError",
+    "ExplicitBackend",
     "ExpressionError",
     "MayBMS",
     "ParseError",
@@ -74,5 +82,6 @@ __all__ = [
     "WorldAnswer",
     "WorldSet",
     "WorldSetError",
+    "WsdBackend",
     "__version__",
 ]

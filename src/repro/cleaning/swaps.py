@@ -10,9 +10,7 @@ possibly-confused columns.
 
 from __future__ import annotations
 
-from typing import Sequence
 
-from ..errors import SchemaError
 from ..relational.relation import Relation
 from ..relational.schema import Column, Schema
 

@@ -1,17 +1,21 @@
-"""The I-SQL engine: planner, possible-worlds executor, session and results."""
+"""The I-SQL engine: planner, executors, backends, session and results."""
 
+from .backends import ExecutionBackend, ExplicitBackend, WsdBackend
 from .executor import Executor, WorldQueryResult
 from .planner import Planner, ResolvedFrom, plan_select
 from .results import StatementResult, WorldAnswer
 from .session import MayBMS
 
 __all__ = [
+    "ExecutionBackend",
     "Executor",
+    "ExplicitBackend",
     "MayBMS",
     "Planner",
     "ResolvedFrom",
     "StatementResult",
     "WorldAnswer",
     "WorldQueryResult",
+    "WsdBackend",
     "plan_select",
 ]

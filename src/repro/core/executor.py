@@ -19,8 +19,8 @@ table as``) or discard it (plain ``select``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from ..errors import AnalysisError, UnsupportedFeatureError
 from ..relational.algebra import ExecutionEnv
@@ -40,7 +40,8 @@ from ..sqlparser.ast_nodes import (
 )
 from .planner import Planner, ResolvedFrom
 
-__all__ = ["WorldQueryResult", "Executor", "TRANSIENT_PREFIX"]
+__all__ = ["WorldQueryResult", "Executor", "TRANSIENT_PREFIX",
+           "collect_quantifier"]
 
 #: Prefix of the relation names the executor materialises temporarily inside
 #: worlds (repaired relations, view results, derived tables).  The session
@@ -360,6 +361,15 @@ class Executor:
                         "materialise the view with CREATE TABLE ... AS first")
             elif isinstance(ref, DerivedTableRef):
                 self._require_plain(ref.query, where)
+
+
+def collect_quantifier(quantifier: str, answers: list[Relation]) -> Relation:
+    """Union (possible) or intersection (certain) of per-world answers.
+
+    Shared by the explicit executor and the WSD-native executor's
+    component-joint evaluation path, so both backends collect identically.
+    """
+    return _collect(quantifier, answers)
 
 
 def _collect(quantifier: str, answers: list[Relation]) -> Relation:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import PlanningError, UnsupportedFeatureError
+from ..errors import PlanningError
 from ..relational.algebra import (
     AggregateOp,
     CrossJoinOp,
@@ -57,7 +57,48 @@ from ..sqlparser.ast_nodes import (
     TableRef,
 )
 
-__all__ = ["Planner", "ResolvedFrom", "plan_select"]
+__all__ = ["Planner", "ResolvedFrom", "plan_select", "output_name",
+           "deduplicate_output_names"]
+
+
+def output_name(item: SelectItem, position: int) -> str:
+    """The output column name of a select item (alias, column name or colN).
+
+    Shared by the explicit planner and the WSD-native executor so both
+    backends produce identical result schemas.
+    """
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    if isinstance(expression, AggregateCall):
+        return expression.name
+    return f"col{position + 1}"
+
+
+def deduplicate_output_names(outputs: list[OutputColumn]) -> list[OutputColumn]:
+    """Make output column names unique.
+
+    Expanding ``*`` over a self-join (``from I i1, I i2``) yields the same
+    unqualified column names twice; the result schema disambiguates them
+    with their qualifier (``i2.Id``) or, failing that, a numeric suffix.
+    """
+    seen: set[str] = set()
+    unique: list[OutputColumn] = []
+    for output in outputs:
+        name = output.name
+        if name.lower() in seen:
+            expression = output.expression
+            if isinstance(expression, ColumnRef) and expression.qualifier:
+                name = f"{expression.qualifier}.{output.name}"
+            counter = 2
+            while name.lower() in seen:
+                name = f"{output.name}_{counter}"
+                counter += 1
+        seen.add(name.lower())
+        unique.append(OutputColumn(output.expression, name))
+    return unique
 
 
 @dataclass
@@ -253,27 +294,7 @@ class Planner:
 
     def _deduplicate_output_names(self, outputs: list[OutputColumn]
                                   ) -> list[OutputColumn]:
-        """Make output column names unique.
-
-        Expanding ``*`` over a self-join (``from I i1, I i2``) yields the same
-        unqualified column names twice; the result schema disambiguates them
-        with their qualifier (``i2.Id``) or, failing that, a numeric suffix.
-        """
-        seen: set[str] = set()
-        unique: list[OutputColumn] = []
-        for output in outputs:
-            name = output.name
-            if name.lower() in seen:
-                expression = output.expression
-                if isinstance(expression, ColumnRef) and expression.qualifier:
-                    name = f"{expression.qualifier}.{output.name}"
-                counter = 2
-                while name.lower() in seen:
-                    name = f"{output.name}_{counter}"
-                    counter += 1
-            seen.add(name.lower())
-            unique.append(OutputColumn(output.expression, name))
-        return unique
+        return deduplicate_output_names(outputs)
 
     def _expand_star(self, star: Star, plan: Operator) -> list[OutputColumn]:
         columns = self._visible_columns(plan)
@@ -312,14 +333,7 @@ class Planner:
             f"cannot expand '*' over a {type(plan).__name__} input")
 
     def _output_name(self, item: SelectItem, position: int) -> str:
-        if item.alias:
-            return item.alias
-        expression = item.expression
-        if isinstance(expression, ColumnRef):
-            return expression.name
-        if isinstance(expression, AggregateCall):
-            return expression.name
-        return f"col{position + 1}"
+        return output_name(item, position)
 
     # -- ORDER BY / LIMIT -----------------------------------------------------------------------------
 

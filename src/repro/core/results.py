@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from ..relational.relation import Relation
 from ..worldset.worldset import WorldSet
+from ..wsd.decomposition import WorldSetDecomposition
 
 __all__ = ["WorldAnswer", "StatementResult"]
 
@@ -47,7 +48,11 @@ class StatementResult:
     ----------
     kind:
         One of ``"rows"`` (a single cross-world relation), ``"world_rows"``
-        (one relation per world), ``"command"`` (DDL / DML acknowledgement).
+        (one relation per world), ``"command"`` (DDL / DML acknowledgement),
+        or ``"wsd_rows"`` (a compact per-world answer represented as a
+        world-set decomposition — produced by plain SELECTs on the wsd
+        backend, where materialising one relation per world would defeat
+        the representation).
     relation:
         The collected relation for ``rows`` results (possible / certain /
         conf / aggregated confidences).
@@ -62,6 +67,11 @@ class StatementResult:
         changed by DDL / DML statements.
     rowcount:
         Number of affected rows for DML, when applicable.
+    decomposition:
+        For ``wsd_rows`` results: the answer as a world-set decomposition
+        containing the single relation named ``relation_name``.
+    relation_name:
+        The name of the answer relation inside ``decomposition``.
     """
 
     kind: str
@@ -70,6 +80,8 @@ class StatementResult:
     message: str = ""
     world_set: Optional[WorldSet] = None
     rowcount: Optional[int] = None
+    decomposition: Optional[WorldSetDecomposition] = None
+    relation_name: Optional[str] = None
 
     # -- convenience accessors --------------------------------------------------------
 
@@ -80,6 +92,16 @@ class StatementResult:
     def is_world_rows(self) -> bool:
         """True for per-world results."""
         return self.kind == "world_rows"
+
+    def is_wsd_rows(self) -> bool:
+        """True for compact (decomposition-valued) answers."""
+        return self.kind == "wsd_rows"
+
+    def answer_decomposition(self) -> WorldSetDecomposition:
+        """The answer WSD of a ``wsd_rows`` result."""
+        if self.decomposition is None:
+            raise ValueError("this result has no answer decomposition")
+        return self.decomposition
 
     def rows(self) -> list[tuple]:
         """The rows of a single-relation result."""
@@ -112,12 +134,21 @@ class StatementResult:
         """Render the result for the REPL and the example scripts."""
         if self.kind == "command":
             return self.message or "OK"
+        if self.is_wsd_rows():
+            assert self.decomposition is not None
+            tuples = self.decomposition.template.relation_tuples(
+                self.relation_name)
+            return (f"-- answer {self.relation_name} "
+                    f"({self.decomposition!r}, {len(tuples)} template tuple(s))")
         if self.is_rows():
             assert self.relation is not None
             return self.relation.pretty(max_rows=max_rows)
         blocks = []
         for answer in self.world_answers:
-            header = f"-- world {answer.label}"
+            # Distribution answers (wsd backend) have no world labels; they
+            # are "this answer, with this probability mass".
+            header = (f"-- world {answer.label}" if answer.label is not None
+                      else "-- answer")
             if answer.probability is not None:
                 header += f" (P = {answer.probability:.4f})"
             blocks.append(header)
@@ -130,4 +161,7 @@ class StatementResult:
         if self.is_rows():
             count = len(self.relation) if self.relation is not None else 0
             return f"StatementResult(rows: {count})"
+        if self.is_wsd_rows():
+            return (f"StatementResult(wsd_rows: {self.relation_name} in "
+                    f"{self.decomposition!r})")
         return f"StatementResult(world_rows: {len(self.world_answers)} worlds)"

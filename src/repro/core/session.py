@@ -1,14 +1,25 @@
-"""The MayBMS session: catalog state, view registry and statement dispatch.
+"""The MayBMS session: backend selection, statement dispatch and state access.
 
 :class:`MayBMS` is the public face of the reproduction.  It plays the role of
-the MayBMS server in the paper: it keeps the current world-set (initially one
-complete world), stores view definitions, and executes I-SQL statements —
-queries, DDL and updates — with the possible-worlds semantics implemented by
-:class:`repro.core.executor.Executor`.
+the MayBMS server in the paper: it keeps the current world-set state, stores
+view definitions, and executes I-SQL statements — queries, DDL and updates —
+with possible-worlds semantics.
+
+Since the WSD-native execution backend landed, the session is a thin facade
+over an :class:`~repro.core.backends.ExecutionBackend`:
+
+* ``MayBMS(backend="explicit")`` (the default) keeps an explicit
+  :class:`~repro.worldset.worldset.WorldSet` and evaluates every query per
+  world — the reference semantics;
+* ``MayBMS(backend="wsd")`` keeps a compact
+  :class:`~repro.wsd.decomposition.WorldSetDecomposition` and evaluates
+  ``select`` / ``where`` / projection / ``possible`` / ``certain`` / ``conf``
+  / ``assert`` directly on it, never materialising worlds for the supported
+  query classes.
 
 Typical use::
 
-    db = MayBMS()
+    db = MayBMS()                      # or MayBMS(backend="wsd")
     db.create_table("R", ["A", "B", "C", "D"])
     db.insert("R", [("a1", 10, "c1", 2), ...])
     db.execute("create table I as select A, B, C from R repair by key A weight D;")
@@ -19,40 +30,15 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-from ..errors import (
-    AnalysisError,
-    ConstraintViolationError,
-    ReproError,
-    UnknownRelationError,
-    UnsupportedFeatureError,
-)
-from ..relational.catalog import Catalog
-from ..relational.constraints import check_key
-from ..relational.expressions import EvalContext
+from ..errors import AnalysisError
 from ..relational.relation import Relation
-from ..relational.schema import Column, Schema
-from ..relational.types import SqlType
-from ..sqlparser.ast_nodes import (
-    CompoundQuery,
-    CreateTable,
-    CreateTableAs,
-    CreateView,
-    Delete,
-    DropTable,
-    DropView,
-    ExplainStatement,
-    Insert,
-    Query,
-    SelectQuery,
-    Statement,
-    Update,
-)
+from ..relational.schema import Column
+from ..sqlparser.ast_nodes import Query, Statement
 from ..sqlparser.parser import parse_statement, parse_statements
-from ..worldset.world import World
 from ..worldset.worldset import WorldSet
-from .executor import TRANSIENT_PREFIX, Executor, WorldQueryResult
-from .planner import Planner
-from .results import StatementResult, WorldAnswer
+from ..wsd.decomposition import WorldSetDecomposition
+from .backends import ExplicitBackend, WsdBackend, create_backend
+from .results import StatementResult
 
 __all__ = ["MayBMS"]
 
@@ -60,18 +46,61 @@ __all__ = ["MayBMS"]
 class MayBMS:
     """An in-memory MayBMS instance: world-set state plus I-SQL execution."""
 
-    def __init__(self, catalog: Catalog | dict[str, Relation] | None = None) -> None:
-        if catalog is None:
-            catalog = Catalog()
-        elif isinstance(catalog, dict):
-            catalog = Catalog(catalog)
-        #: The current world-set.  A freshly created instance holds a single
-        #: complete world, exactly like a conventional database.
-        self.world_set: WorldSet = WorldSet.single(catalog, label="A")
-        #: Stored view definitions (name -> query AST).
-        self.views: dict[str, Query] = {}
-        #: Declared primary keys (table name, lower-cased -> key columns).
-        self.primary_keys: dict[str, list[str]] = {}
+    def __init__(self, catalog=None, backend: str = "explicit") -> None:
+        #: The execution backend holding all state (world-set or WSD, views,
+        #: declared keys) and implementing statement execution.
+        self.backend = create_backend(backend, catalog)
+
+    # -- backend and state access ---------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """The name of the active backend (``"explicit"`` or ``"wsd"``)."""
+        return self.backend.name
+
+    @property
+    def world_set(self) -> WorldSet:
+        """The explicit world-set (explicit backend only)."""
+        if not isinstance(self.backend, ExplicitBackend):
+            raise AnalysisError(
+                "the wsd backend keeps no explicit world-set; "
+                "use .decomposition instead")
+        return self.backend.world_set
+
+    @world_set.setter
+    def world_set(self, value: WorldSet) -> None:
+        if not isinstance(self.backend, ExplicitBackend):
+            raise AnalysisError(
+                "the wsd backend keeps no explicit world-set; "
+                "use .decomposition instead")
+        self.backend.world_set = value
+
+    @property
+    def decomposition(self) -> WorldSetDecomposition:
+        """The compact world-set decomposition (wsd backend only)."""
+        if not isinstance(self.backend, WsdBackend):
+            raise AnalysisError(
+                "the explicit backend keeps no decomposition; "
+                "use .world_set instead")
+        return self.backend.decomposition
+
+    @decomposition.setter
+    def decomposition(self, value: WorldSetDecomposition) -> None:
+        if not isinstance(self.backend, WsdBackend):
+            raise AnalysisError(
+                "the explicit backend keeps no decomposition; "
+                "use .world_set instead")
+        self.backend.decomposition = value
+
+    @property
+    def views(self) -> dict[str, Query]:
+        """Stored view definitions (name, lower-cased, to query AST)."""
+        return self.backend.views
+
+    @property
+    def primary_keys(self) -> dict[str, list[str]]:
+        """Declared primary keys (table name, lower-cased, to key columns)."""
+        return self.backend.primary_keys
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -79,44 +108,32 @@ class MayBMS:
                      rows: Iterable[Sequence[Any]] = (),
                      primary_key: Sequence[str] | None = None) -> None:
         """Create a complete table in every current world (convenience API)."""
-        schema = Schema(list(columns))
-        relation = Relation(schema, rows, name=name)
-        self.world_set = self.world_set.map_worlds(
-            lambda world: world.with_relation(name, relation.copy(), replace=False))
-        if primary_key:
-            self.primary_keys[name.lower()] = list(primary_key)
+        self.backend.create_table(name, columns, rows, primary_key)
 
-    def register_relation(self, relation: Relation, name: str | None = None) -> None:
+    def register_relation(self, relation: Relation,
+                          name: str | None = None) -> None:
         """Add an existing relation object to every current world."""
-        table_name = name or relation.name
-        if not table_name:
-            raise AnalysisError("register_relation requires a name")
-        self.world_set = self.world_set.map_worlds(
-            lambda world: world.with_relation(table_name, relation.copy(),
-                                              replace=False))
+        self.backend.register_relation(relation, name)
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Insert rows into *table* in every world (checking declared keys)."""
-        rows = [tuple(row) for row in rows]
-        return self._insert_rows(table, rows)
+        return self.backend.insert(table, rows)
 
     def relation(self, name: str, world_label: str | None = None) -> Relation:
         """Return a relation from one world (the first world by default)."""
-        world = (self.world_set.world_by_label(world_label)
-                 if world_label is not None else self.world_set.worlds[0])
-        return world.relation(name)
+        return self.backend.relation(name, world_label)
 
     def world_count(self) -> int:
         """The number of possible worlds in the current state."""
-        return len(self.world_set)
+        return self.backend.world_count()
 
     def table_names(self) -> list[str]:
-        """The relation names present in the first world."""
-        return self.world_set.worlds[0].catalog.names()
+        """The relation names present in the current state."""
+        return self.backend.table_names()
 
     def view_names(self) -> list[str]:
         """The names of the stored views."""
-        return sorted(self.views)
+        return self.backend.view_names()
 
     # -- statement execution --------------------------------------------------------------------
 
@@ -131,252 +148,12 @@ class MayBMS:
                 for statement in parse_statements(sql)]
 
     def execute_statement(self, statement: Statement) -> StatementResult:
-        """Execute an already-parsed statement."""
-        if isinstance(statement, (SelectQuery, CompoundQuery)):
-            return self._execute_query(statement)
-        if isinstance(statement, CreateTableAs):
-            return self._execute_create_table_as(statement)
-        if isinstance(statement, CreateView):
-            return self._execute_create_view(statement)
-        if isinstance(statement, CreateTable):
-            return self._execute_create_table(statement)
-        if isinstance(statement, DropTable):
-            return self._execute_drop(statement.name, statement.if_exists,
-                                      kind="table")
-        if isinstance(statement, DropView):
-            return self._execute_drop(statement.name, statement.if_exists,
-                                      kind="view")
-        if isinstance(statement, Insert):
-            return self._execute_insert(statement)
-        if isinstance(statement, Update):
-            return self._execute_update(statement)
-        if isinstance(statement, Delete):
-            return self._execute_delete(statement)
-        if isinstance(statement, ExplainStatement):
-            return self._execute_explain(statement)
-        raise UnsupportedFeatureError(
-            f"statement type {type(statement).__name__} is not supported")
-
-    # -- queries -------------------------------------------------------------------------------------
-
-    def _executor(self) -> Executor:
-        return Executor(self.views)
-
-    def _execute_query(self, query: Query) -> StatementResult:
-        outcome = self._executor().evaluate_query(query, self.world_set)
-        if outcome.collected is not None:
-            return StatementResult(kind="rows", relation=outcome.collected,
-                                   world_set=outcome.world_set)
-        answers = [WorldAnswer(world.label, world.probability, answer)
-                   for world, answer in zip(outcome.world_set.worlds,
-                                            outcome.answers)]
-        return StatementResult(kind="world_rows", world_answers=answers,
-                               world_set=outcome.world_set)
-
-    def _execute_create_table_as(self, statement: CreateTableAs) -> StatementResult:
-        outcome = self._executor().evaluate_query(statement.query, self.world_set)
-        self._install_materialized(statement.name, outcome,
-                                   replace=statement.or_replace)
-        return StatementResult(
-            kind="command",
-            message=(f"created table {statement.name} in "
-                     f"{len(self.world_set)} world(s)"),
-            world_set=self.world_set)
-
-    def _install_materialized(self, name: str, outcome: WorldQueryResult,
-                              replace: bool = False) -> None:
-        """Install a query outcome as the new session state plus a new table."""
-        worlds = []
-        for world, answer in zip(outcome.world_set.worlds, outcome.answers):
-            stored = answer.with_schema(answer.schema.without_qualifiers())
-            new_world = world.with_relation(name, stored, replace=True)
-            for relation_name in list(new_world.catalog.names()):
-                if relation_name.startswith(TRANSIENT_PREFIX):
-                    new_world.catalog.drop(relation_name)
-            worlds.append(new_world)
-        self.world_set = WorldSet(worlds)
-
-    def _execute_create_view(self, statement: CreateView) -> StatementResult:
-        key = statement.name.lower()
-        if key in self.views and not statement.or_replace:
-            raise AnalysisError(f"view {statement.name!r} already exists")
-        self.views[key] = statement.query
-        return StatementResult(kind="command",
-                               message=f"created view {statement.name}")
-
-    # -- DDL -----------------------------------------------------------------------------------------------
-
-    def _execute_create_table(self, statement: CreateTable) -> StatementResult:
-        columns = [Column(definition.name, SqlType.from_name(definition.type_name))
-                   for definition in statement.columns]
-        relation = Relation(Schema(columns), [], name=statement.name)
-        self.world_set = self.world_set.map_worlds(
-            lambda world: world.with_relation(statement.name, relation.copy(),
-                                              replace=False))
-        if statement.primary_key:
-            self.primary_keys[statement.name.lower()] = list(statement.primary_key)
-        return StatementResult(kind="command",
-                               message=f"created table {statement.name}")
-
-    def _execute_drop(self, name: str, if_exists: bool, kind: str) -> StatementResult:
-        if kind == "view":
-            if name.lower() in self.views:
-                del self.views[name.lower()]
-                return StatementResult(kind="command",
-                                       message=f"dropped view {name}")
-            if if_exists:
-                return StatementResult(kind="command", message="nothing to drop")
-            raise UnknownRelationError(name)
-        present = any(world.has_relation(name) for world in self.world_set.worlds)
-        if not present:
-            if if_exists:
-                return StatementResult(kind="command", message="nothing to drop")
-            raise UnknownRelationError(name)
-        self.world_set = self.world_set.map_worlds(
-            lambda world: world.without_relation(name))
-        self.primary_keys.pop(name.lower(), None)
-        return StatementResult(kind="command", message=f"dropped table {name}")
-
-    # -- DML -----------------------------------------------------------------------------------------------
-
-    def _execute_insert(self, statement: Insert) -> StatementResult:
-        rows = self._insert_rows_from_statement(statement)
-        count = self._insert_rows(statement.table, rows, statement.columns)
-        message = (f"inserted {count} row(s) into {statement.table}"
-                   if count else
-                   "insert discarded in all worlds (constraint violation)")
-        return StatementResult(kind="command", message=message, rowcount=count)
-
-    def _insert_rows_from_statement(self, statement: Insert) -> list[tuple]:
-        if statement.query is not None:
-            # INSERT ... SELECT: the query must be world-local; evaluate it in
-            # each world is ambiguous for differing answers, so require that
-            # every world agrees (common case: complete data), else reject.
-            outcome = self._executor().evaluate_query(statement.query, self.world_set)
-            distinct_answers = {answer.fingerprint() for answer in outcome.answers}
-            if len(distinct_answers) != 1:
-                raise UnsupportedFeatureError(
-                    "INSERT ... SELECT with world-dependent answers is not supported")
-            return list(outcome.answers[0].rows)
-        context = EvalContext(schema=Schema([]), row=())
-        return [tuple(expression.evaluate(context) for expression in row)
-                for row in statement.rows]
-
-    def _insert_rows(self, table: str, rows: list[tuple],
-                     columns: Sequence[str] | None = None) -> int:
-        """Insert rows in every world; discard the whole update on violation.
-
-        This is the update semantics described in Section 2 of the paper: the
-        tuples are inserted in each world, but if the insertion violates a
-        (declared key) constraint in *some* world, the update is discarded in
-        *all* worlds.
-        """
-        key = self.primary_keys.get(table.lower())
-        candidate_worlds = []
-        for world in self.world_set.worlds:
-            relation = world.relation(table).copy()
-            for row in rows:
-                relation.insert(self._reorder_row(relation, row, columns))
-            if key is not None and not check_key(relation, key):
-                raise ConstraintViolationError(
-                    f"insert into {table} violates the key ({', '.join(key)}) "
-                    f"in world {world.label!r}; update discarded in all worlds")
-            candidate_worlds.append(world.with_relation(table, relation))
-        self.world_set = WorldSet(candidate_worlds)
-        return len(rows)
-
-    def _reorder_row(self, relation: Relation, row: tuple,
-                     columns: Sequence[str] | None) -> tuple:
-        if not columns:
-            return row
-        if len(columns) != len(row):
-            raise AnalysisError("INSERT column list and VALUES arity differ")
-        by_name = dict(zip([c.lower() for c in columns], row))
-        return tuple(by_name.get(column.name.lower())
-                     for column in relation.schema)
-
-    def _execute_update(self, statement: Update) -> StatementResult:
-        executor = self._executor()
-        total = 0
-        new_worlds = []
-        for world in self.world_set.worlds:
-            relation = world.relation(statement.table).copy()
-            env = executor._make_env(world)
-            schema = relation.schema.with_qualifier(statement.table)
-
-            def matches(row: tuple) -> bool:
-                if statement.where is None:
-                    return True
-                context = EvalContext(schema=schema, row=row,
-                                      subquery_evaluator=env.subquery_evaluator)
-                return statement.where.evaluate(context) is True
-
-            def updated(row: tuple) -> tuple:
-                context = EvalContext(schema=schema, row=row,
-                                      subquery_evaluator=env.subquery_evaluator)
-                values = list(row)
-                for assignment in statement.assignments:
-                    index = relation.schema.index_of(assignment.column)
-                    values[index] = assignment.expression.evaluate(context)
-                return tuple(values)
-
-            total += relation.update_where(matches, updated)
-            key = self.primary_keys.get(statement.table.lower())
-            if key is not None and not check_key(relation, key):
-                raise ConstraintViolationError(
-                    f"update of {statement.table} violates the key in world "
-                    f"{world.label!r}; update discarded in all worlds")
-            new_worlds.append(world.with_relation(statement.table, relation))
-        self.world_set = WorldSet(new_worlds)
-        return StatementResult(kind="command",
-                               message=f"updated {total} row(s)", rowcount=total)
-
-    def _execute_delete(self, statement: Delete) -> StatementResult:
-        executor = self._executor()
-        total = 0
-        new_worlds = []
-        for world in self.world_set.worlds:
-            relation = world.relation(statement.table).copy()
-            env = executor._make_env(world)
-            schema = relation.schema.with_qualifier(statement.table)
-
-            def matches(row: tuple) -> bool:
-                if statement.where is None:
-                    return True
-                context = EvalContext(schema=schema, row=row,
-                                      subquery_evaluator=env.subquery_evaluator)
-                return statement.where.evaluate(context) is True
-
-            total += relation.delete_where(matches)
-            new_worlds.append(world.with_relation(statement.table, relation))
-        self.world_set = WorldSet(new_worlds)
-        return StatementResult(kind="command",
-                               message=f"deleted {total} row(s)", rowcount=total)
-
-    # -- EXPLAIN ----------------------------------------------------------------------------------------------
-
-    def _execute_explain(self, statement: ExplainStatement) -> StatementResult:
-        target = statement.statement
-        if isinstance(target, CreateTableAs):
-            target = target.query
-        if not isinstance(target, (SelectQuery, CompoundQuery)):
-            raise UnsupportedFeatureError("EXPLAIN only supports queries")
-        world = self.world_set.worlds[0]
-        executor = self._executor()
-        derived, resolved_from = executor._resolve_from(
-            target.from_clause if isinstance(target, SelectQuery) else [],
-            self.world_set)
-        planner = Planner(derived.worlds[0].catalog)
-        if isinstance(target, SelectQuery):
-            plan = planner.plan_select(target, resolved_from)
-        else:
-            plan = planner.plan_compound(target)
-        text = plan.explain()
-        return StatementResult(kind="command", message=text)
+        """Execute an already-parsed statement on the active backend."""
+        return self.backend.execute_statement(statement)
 
     # -- introspection -------------------------------------------------------------------------------------------
 
     def describe(self, relation_names: Iterable[str] | None = None,
                  max_rows: int | None = None) -> str:
-        """A printable dump of the whole world-set (for demos and debugging)."""
-        return self.world_set.describe(relation_names, max_rows=max_rows)
+        """A printable dump of the current state (for demos and debugging)."""
+        return self.backend.describe(relation_names, max_rows=max_rows)

@@ -128,5 +128,33 @@ class DecompositionError(ReproError):
     """Invalid operation on a world-set decomposition."""
 
 
+class EnumerationLimitError(DecompositionError):
+    """An operation refused to enumerate more worlds than its guard allows.
+
+    Raised when materialising or jointly enumerating a compactly represented
+    world-set would touch more worlds (or joint component alternatives) than
+    the enumeration limit.  The offending count and the limit are available as
+    attributes so callers can decide whether to retry with a raised limit.
+
+    Attributes
+    ----------
+    world_count:
+        The number of worlds (or joint alternatives) the operation would have
+        had to enumerate.
+    limit:
+        The guard value that was exceeded.
+    """
+
+    def __init__(self, world_count: int, limit: int,
+                 operation: str = "enumerate") -> None:
+        self.world_count = world_count
+        self.limit = limit
+        self.operation = operation
+        super().__init__(
+            f"refusing to {operation} {world_count} worlds "
+            f"(enumeration limit {limit}); pass an explicit higher limit "
+            "if materialisation is really intended")
+
+
 class UnsupportedFeatureError(ReproError):
     """The requested SQL / I-SQL feature is recognised but not implemented."""

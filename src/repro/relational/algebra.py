@@ -14,10 +14,9 @@ equalities; everything else goes through the generic theta join.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
-from ..errors import ExecutionError, PlanningError
 from .aggregates import create_aggregator
 from .catalog import Catalog
 from .expressions import (
@@ -29,7 +28,6 @@ from .expressions import (
 )
 from .relation import Relation
 from .schema import Column, Schema
-from .types import SqlType
 
 __all__ = [
     "ExecutionEnv",
@@ -267,14 +265,14 @@ class HashJoinOp(Operator):
             key = tuple(expr.evaluate(context) for expr in self.right_keys)
             if any(value is None for value in key):
                 continue
-            index.setdefault(_hash_key(key), []).append(row)
+            index.setdefault(hash_key(key), []).append(row)
         result = Relation(schema, [], coerce=False)
         for row in left.rows:
             context = env.make_context(left.schema, row)
             key = tuple(expr.evaluate(context) for expr in self.left_keys)
             if any(value is None for value in key):
                 continue
-            for match in index.get(_hash_key(key), ()):
+            for match in index.get(hash_key(key), ()):
                 joined = row + match
                 if self.residual is not None:
                     joined_context = env.make_context(schema, joined)
@@ -289,7 +287,7 @@ class HashJoinOp(Operator):
         return f"HashJoin({keys})"
 
 
-def _hash_key(key: tuple) -> tuple:
+def hash_key(key: tuple) -> tuple:
     """Normalise numeric key values so 1 and 1.0 hash alike."""
     return tuple(float(value) if isinstance(value, (int, float))
                  and not isinstance(value, bool) else value

@@ -18,7 +18,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..errors import SchemaError, TypeMismatchError
 from .schema import Column, Schema
-from .types import SqlType, coerce_value, ordering_key
+from .types import coerce_value, ordering_key
 
 __all__ = ["Relation"]
 

@@ -28,7 +28,7 @@ IS NULL / EXISTS handled at the comparison level.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from ..errors import ParseError
 from ..relational.aggregates import AGGREGATE_NAMES

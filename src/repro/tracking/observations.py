@@ -27,7 +27,6 @@ from ..errors import WorldSetError
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
 from ..relational.schema import Column, Schema
-from ..relational.types import SqlType
 from ..worldset.world import World
 from ..worldset.worldset import WorldSet
 

@@ -7,7 +7,6 @@ world-set and the larger synthetic tracking workloads.
 
 from __future__ import annotations
 
-from ..core.session import MayBMS
 from ..relational.relation import Relation
 
 __all__ = [

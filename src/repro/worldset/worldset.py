@@ -243,7 +243,14 @@ class WorldSet:
 
     def _world_weights(self) -> list[float]:
         if self.is_probabilistic():
-            return [float(world.probability) for world in self.worlds]
+            weights = [float(world.probability) for world in self.worlds]
+            total = sum(weights)
+            if total > 0:
+                # Normalise: weighted splits of probability-None worlds can
+                # leave the raw masses summing to the parent count, and a
+                # confidence is a probability, not a raw mass.
+                return [weight / total for weight in weights]
+            return weights
         if not self.worlds:
             return []
         uniform = 1.0 / len(self.worlds)

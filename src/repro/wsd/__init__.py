@@ -8,19 +8,42 @@ from .construct import (
     from_tuple_independent,
     from_worldset,
 )
-from .decomposition import Template, TemplateTuple, WorldSetDecomposition
+from .decomposition import (
+    DEFAULT_ENUMERATION_LIMIT,
+    Template,
+    TemplateTuple,
+    WorldSetDecomposition,
+    ensure_enumerable,
+)
+from .execute import (
+    Condition,
+    SymbolicRelation,
+    SymTuple,
+    WSDExecutor,
+    WSDQueryResult,
+    WsdExecutionStats,
+    prune_and_normalize,
+)
 from .fields import EXISTS_ATTRIBUTE, Field
 from .normalize import factorize_component, is_normalized, normalize
 
 __all__ = [
     "Alternative",
     "Component",
+    "Condition",
+    "DEFAULT_ENUMERATION_LIMIT",
     "EXISTS_ATTRIBUTE",
     "Field",
+    "SymTuple",
+    "SymbolicRelation",
     "Template",
     "TemplateTuple",
+    "WSDExecutor",
+    "WSDQueryResult",
     "WorldSetDecomposition",
+    "WsdExecutionStats",
     "add_certain_relation",
+    "ensure_enumerable",
     "factorize_component",
     "from_choice_of",
     "from_key_repair",
@@ -28,4 +51,5 @@ __all__ = [
     "from_worldset",
     "is_normalized",
     "normalize",
+    "prune_and_normalize",
 ]

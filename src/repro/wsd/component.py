@@ -10,7 +10,7 @@ compact than enumerating worlds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import DecompositionError, ProbabilityError

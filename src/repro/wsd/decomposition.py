@@ -29,20 +29,34 @@ from dataclasses import dataclass, field as dataclass_field
 from itertools import product
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from ..errors import DecompositionError
+from ..errors import DecompositionError, EnumerationLimitError
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
 from ..relational.schema import Schema
 from ..worldset.world import World
 from ..worldset.worldset import WorldSet
-from .component import Alternative, Component
-from .fields import EXISTS_ATTRIBUTE, Field
+from .component import Component
+from .fields import Field
 
-__all__ = ["TemplateTuple", "Template", "WorldSetDecomposition"]
+__all__ = ["TemplateTuple", "Template", "WorldSetDecomposition",
+           "DEFAULT_ENUMERATION_LIMIT", "ensure_enumerable"]
 
 #: Enumeration guard: converting a WSD to an explicit world-set refuses to
 #: materialise more worlds than this unless the caller raises the limit.
 DEFAULT_ENUMERATION_LIMIT = 100_000
+
+
+def ensure_enumerable(world_count: int, limit: int | None,
+                      operation: str = "enumerate") -> None:
+    """Raise :class:`EnumerationLimitError` when *world_count* exceeds *limit*.
+
+    This is the single enumeration guard shared by explicit materialisation
+    (:meth:`WorldSetDecomposition.iter_assignments`) and the WSD-native
+    executor's joint component enumeration.  A *limit* of ``None`` disables
+    the guard.
+    """
+    if limit is not None and world_count > limit:
+        raise EnumerationLimitError(world_count, limit, operation=operation)
 
 
 @dataclass
@@ -182,12 +196,11 @@ class WorldSetDecomposition:
 
         Enumeration is exponential in the number of components; the *limit*
         guard protects against accidentally materialising a compactly
-        represented world-set (pass ``None`` to disable it).
+        represented world-set (pass ``None`` to disable it).  Exceeding the
+        guard raises :class:`~repro.errors.EnumerationLimitError`, which
+        carries the offending world count and the limit.
         """
-        if limit is not None and self.world_count() > limit:
-            raise DecompositionError(
-                f"refusing to enumerate {self.world_count()} worlds "
-                f"(limit {limit}); raise the limit explicitly if intended")
+        ensure_enumerable(self.world_count(), limit)
         if not self.components:
             yield {}, 1.0
             return

@@ -1,0 +1,1501 @@
+"""WSD-native query execution: I-SQL directly on world-set decompositions.
+
+This module is the processing counterpart of the storage argument: where the
+explicit backend (:mod:`repro.core.executor`) evaluates every query once per
+possible world, the :class:`WSDExecutor` evaluates ``select`` / ``where`` /
+projection / ``possible`` / ``certain`` / ``conf`` and template-level
+``assert`` *directly on the decomposition* — template tuples and components —
+and therefore scales with the size of the representation, not with the number
+of represented worlds.
+
+Three evaluation strategies, ordered from cheapest to most expensive:
+
+1. **Symbolic** — selection, projection and products without aggregates or
+   subqueries.  Every template tuple is *grounded* into one concrete tuple
+   per distinct local alternative combination, annotated with a
+   :class:`Condition` (a conjunction of per-component alternative
+   restrictions).  Predicates are pushed down onto the ground tuples, so the
+   work is linear in the number of (tuple, local alternative) pairs — the
+   decomposition's storage size — regardless of the world count.
+   ``possible`` / ``certain`` / ``conf`` then reduce to satisfiability,
+   coverage and probability of disjunctions of conditions, touching only the
+   components a result row actually depends on.
+
+2. **Component-joint** — aggregates, subqueries, GROUP BY / HAVING and
+   ORDER BY / LIMIT genuinely need per-world answers.  Instead of
+   materialising worlds, only the components touching the *referenced
+   relations* are enumerated jointly (guarded by the enumeration limit);
+   each joint alternative instantiates just those relations and runs the
+   plain per-world plan.  Components the query does not mention are never
+   enumerated.
+
+3. **Fallback** — ``group worlds by`` and compound queries decompose to the
+   explicit backend via guarded materialisation.  Fallbacks are flagged
+   explicitly: they increment :attr:`WsdExecutionStats.fallback`, so tests
+   and benchmarks can assert that the scalable query classes never
+   materialise worlds.
+
+After ``assert`` conditioning the derived decomposition is re-normalised
+(:func:`repro.wsd.normalize.normalize`) so it stays maximally factorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import (
+    AnalysisError,
+    DecompositionError,
+    EnumerationLimitError,
+    UnknownRelationError,
+    UnsupportedFeatureError,
+    WorldSetError,
+)
+from ..relational.catalog import Catalog
+from ..relational.expressions import (
+    EvalContext,
+    ExistsSubquery,
+    Expression,
+    InSubquery,
+    QuantifiedComparison,
+    ScalarSubquery,
+    Star,
+    contains_aggregate,
+)
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..sqlparser.ast_nodes import (
+    CompoundQuery,
+    DerivedTableRef,
+    NamedTableRef,
+    Query,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from ..worldset.world import World
+from .component import Alternative, Component
+from .construct import from_choice_of, from_key_repair
+from .decomposition import (
+    DEFAULT_ENUMERATION_LIMIT,
+    Template,
+    TemplateTuple,
+    WorldSetDecomposition,
+    ensure_enumerable,
+)
+from .fields import EXISTS_ATTRIBUTE, Field
+from .normalize import normalize
+
+__all__ = [
+    "Condition",
+    "SymTuple",
+    "SymbolicRelation",
+    "WsdExecutionStats",
+    "WSDQueryResult",
+    "WSDExecutor",
+    "canonical_relation_name",
+    "contains_subquery",
+    "materialise_certain",
+    "prune_and_normalize",
+    "relation_is_certain",
+]
+
+#: Prefix of relations the executor materialises transiently inside the
+#: working decomposition (repairs, choices, views, derived tables).  Matches
+#: the explicit executor's convention so session-level cleanup is uniform.
+TRANSIENT_PREFIX = "#tmp"
+
+
+class _FallbackNeeded(Exception):
+    """Internal: the query shape needs the explicit (materialising) backend."""
+
+
+# -- conditions -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of per-component alternative restrictions.
+
+    ``atoms`` maps (by position) a component index to the set of alternative
+    indexes under which the condition holds.  An empty atom tuple is the
+    always-true condition; atoms whose allowed set equals the whole component
+    are never stored.  Conjunction intersects allowed sets; an empty
+    intersection means the condition is unsatisfiable and the carrying tuple
+    is dropped.
+    """
+
+    atoms: tuple[tuple[int, frozenset[int]], ...] = ()
+
+    def is_true(self) -> bool:
+        """True for the unconditional (every-world) condition."""
+        return not self.atoms
+
+    def component_ids(self) -> list[int]:
+        """The indexes of the components this condition restricts."""
+        return [index for index, _ in self.atoms]
+
+    def conjoin(self, other: "Condition") -> Optional["Condition"]:
+        """The conjunction of two conditions, or None when unsatisfiable."""
+        if self.is_true():
+            return other
+        if other.is_true():
+            return self
+        allowed: dict[int, frozenset[int]] = dict(self.atoms)
+        for index, indexes in other.atoms:
+            if index in allowed:
+                merged = allowed[index] & indexes
+                if not merged:
+                    return None
+                allowed[index] = merged
+            else:
+                allowed[index] = indexes
+        return Condition(tuple(sorted(allowed.items(), key=lambda kv: kv[0])))
+
+    def holds(self, choice: dict[int, int]) -> bool:
+        """True when the joint alternative *choice* satisfies the condition."""
+        return all(choice[index] in indexes for index, indexes in self.atoms)
+
+
+TRUE_CONDITION = Condition()
+
+
+@dataclass
+class SymTuple:
+    """A ground tuple annotated with the condition under which it exists."""
+
+    row: tuple
+    condition: Condition
+
+
+@dataclass
+class SymbolicRelation:
+    """A relation of condition-annotated ground tuples (one FROM source)."""
+
+    schema: Schema
+    tuples: list[SymTuple]
+
+
+# -- results and accounting ---------------------------------------------------------------
+
+
+@dataclass
+class WsdExecutionStats:
+    """How many queries each strategy answered (fallbacks are flagged here)."""
+
+    symbolic: int = 0
+    component_joint: int = 0
+    fallback: int = 0
+
+    def merge(self, other: "WsdExecutionStats") -> None:
+        """Accumulate *other* into this counter set."""
+        self.symbolic += other.symbolic
+        self.component_joint += other.component_joint
+        self.fallback += other.fallback
+
+
+@dataclass
+class WSDQueryResult:
+    """Outcome of a WSD-native query evaluation.
+
+    ``kind`` is one of
+
+    * ``"rows"`` — a single collected relation (possible / certain / conf);
+    * ``"wsd"`` — a compact answer: ``decomposition`` holds a derived WSD
+      containing the single relation ``relation_name``;
+    * ``"distribution"`` — per-answer probability masses for plain queries
+      that needed component-joint evaluation (aggregates): a list of
+      ``(mass, relation)`` pairs, masses summing to one;
+    * ``"explicit"`` — the query fell back to guarded materialisation;
+      ``explicit`` holds the explicit backend's result object.
+    """
+
+    kind: str
+    relation: Optional[Relation] = None
+    decomposition: Optional[WorldSetDecomposition] = None
+    relation_name: Optional[str] = None
+    distribution: Optional[list[tuple[float | None, Relation]]] = None
+    explicit: Any = None
+
+
+# -- helpers over expression / query trees -------------------------------------------------
+
+_SUBQUERY_NODES = (ScalarSubquery, InSubquery, ExistsSubquery,
+                   QuantifiedComparison)
+
+
+def contains_subquery(expression: Expression) -> bool:
+    if isinstance(expression, _SUBQUERY_NODES):
+        return True
+    return any(contains_subquery(child) for child in expression.children())
+
+
+def _expression_queries(expression: Expression) -> list[Query]:
+    """The subquery ASTs nested anywhere inside *expression*."""
+    queries: list[Query] = []
+    if isinstance(expression, _SUBQUERY_NODES):
+        queries.append(expression.query)
+    for child in expression.children():
+        queries.extend(_expression_queries(child))
+    return queries
+
+
+def _query_expressions(query: SelectQuery) -> list[Expression]:
+    expressions = [item.expression for item in query.select_items]
+    if query.where is not None:
+        expressions.append(query.where)
+    expressions.extend(query.group_by)
+    if query.having is not None:
+        expressions.append(query.having)
+    expressions.extend(item.expression for item in query.order_by)
+    return expressions
+
+
+def _referenced_relation_names(node: Query | Expression) -> list[str]:
+    """Every relation name referenced by *node*, including nested subqueries."""
+    names: list[str] = []
+
+    def visit_query(query: Query) -> None:
+        if isinstance(query, CompoundQuery):
+            visit_query(query.left)
+            visit_query(query.right)
+            return
+        if not isinstance(query, SelectQuery):
+            return
+        for ref in query.from_clause:
+            if isinstance(ref, NamedTableRef):
+                names.append(ref.name)
+            elif isinstance(ref, DerivedTableRef):
+                visit_query(ref.query)
+        for expression in _query_expressions(query):
+            visit_expression(expression)
+        if query.assert_condition is not None:
+            visit_expression(query.assert_condition)
+
+    def visit_expression(expression: Expression) -> None:
+        for query in _expression_queries(expression):
+            visit_query(query)
+
+    if isinstance(node, (SelectQuery, CompoundQuery)):
+        visit_query(node)
+    else:
+        visit_expression(node)
+    ordered: list[str] = []
+    seen: set[str] = set()
+    for name in names:
+        if name.lower() not in seen:
+            seen.add(name.lower())
+            ordered.append(name)
+    return ordered
+
+
+# -- the executor --------------------------------------------------------------------------
+
+
+class WSDExecutor:
+    """Evaluates I-SQL queries directly on a :class:`WorldSetDecomposition`."""
+
+    def __init__(self, decomposition: WorldSetDecomposition,
+                 views: dict[str, Query] | None = None,
+                 enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> None:
+        self.base = decomposition
+        self.views: dict[str, Query] = {}
+        if views:
+            for name, query in views.items():
+                self.views[name.lower()] = query
+        self.limit = enumeration_limit
+        self.stats = WsdExecutionStats()
+        self._transient_counter = 0
+
+    # -- public API ---------------------------------------------------------------------
+
+    def evaluate_query(self, query: Query) -> WSDQueryResult:
+        """Evaluate *query* against the base decomposition (left untouched)."""
+        if isinstance(query, CompoundQuery):
+            return self._fallback(query)
+        if not isinstance(query, SelectQuery):
+            raise AnalysisError(
+                f"cannot evaluate a {type(query).__name__} as a query")
+        if query.group_worlds_by is not None:
+            return self._fallback(query)
+        try:
+            working, items = self._resolve_from(self.base, query.from_clause)
+            if query.assert_condition is not None:
+                working = self._apply_assert(working, query.assert_condition)
+            if self._needs_component_joint(query):
+                return self._evaluate_component_joint(working, query, items)
+            return self._evaluate_symbolic(working, query, items)
+        except _FallbackNeeded:
+            return self._fallback(query)
+
+    def evaluate_for_install(self, name: str,
+                             query: Query) -> WorldSetDecomposition:
+        """Evaluate ``CREATE TABLE name AS query``: the new session state.
+
+        The returned decomposition holds every previous relation (transients
+        dropped), plus *name* bound to the query answer, re-normalised.
+        """
+        if isinstance(query, CompoundQuery) or not isinstance(query, SelectQuery):
+            raise UnsupportedFeatureError(
+                "CREATE TABLE AS on the wsd backend requires a plain SELECT")
+        if query.group_worlds_by is not None:
+            raise UnsupportedFeatureError(
+                "group worlds by is not supported under CREATE TABLE AS "
+                "on the wsd backend")
+        try:
+            working, items = self._resolve_from(self.base, query.from_clause)
+        except _FallbackNeeded as exc:
+            raise UnsupportedFeatureError(
+                "this FROM clause requires world materialisation, which "
+                "CREATE TABLE AS does not support on the wsd backend") from exc
+        if query.assert_condition is not None:
+            working = self._apply_assert(working, query.assert_condition)
+        if query.conf or query.quantifier is not None:
+            stripped = _strip_world_clauses(query, keep_collection=True)
+            result = (self._evaluate_component_joint(working, stripped, items)
+                      if self._needs_component_joint(stripped)
+                      else self._evaluate_symbolic(working, stripped, items))
+            assert result.kind == "rows" and result.relation is not None
+            entries = [(row, [TRUE_CONDITION]) for row in result.relation.rows]
+            return self._install_entries(working, name, result.relation.schema,
+                                         entries, keep="session")
+        if self._needs_component_joint(query):
+            schema, entries = self._component_joint_entries(working, query, items)
+        else:
+            schema, entries = self._symbolic_entries(working, query, items)
+        return self._install_entries(working, name, schema, entries,
+                                     keep="session")
+
+    # -- FROM resolution ------------------------------------------------------------------
+
+    def _new_transient_name(self) -> str:
+        self._transient_counter += 1
+        return f"{TRANSIENT_PREFIX}w{self._transient_counter}"
+
+    def _resolve_from(self, working: WorldSetDecomposition,
+                      from_clause: Sequence[TableRef]
+                      ) -> tuple[WorldSetDecomposition, list[tuple[str, str]]]:
+        items: list[tuple[str, str]] = []
+        for ref in from_clause:
+            working, item = self._resolve_table_ref(working, ref)
+            items.append(item)
+        return working, items
+
+    def _resolve_table_ref(self, working: WorldSetDecomposition, ref: TableRef
+                           ) -> tuple[WorldSetDecomposition, tuple[str, str]]:
+        if isinstance(ref, DerivedTableRef):
+            return self._resolve_query_source(working, ref.query, ref.alias,
+                                              ref.repair, ref.choice)
+        if not isinstance(ref, NamedTableRef):
+            raise AnalysisError(f"unknown FROM item {ref!r}")
+        alias = ref.effective_alias()
+        view_query = self.views.get(ref.name.lower())
+        if view_query is not None:
+            return self._resolve_query_source(working, view_query, alias,
+                                              ref.repair, ref.choice)
+        name = self._canonical_name(working, ref.name)
+        if ref.repair is None and ref.choice is None:
+            return working, (name, alias)
+        if not self._relation_is_certain(working, name):
+            # Repairing / partitioning an uncertain relation multiplies
+            # worlds in a data-dependent way; decompose-then-enumerate.
+            raise _FallbackNeeded
+        relation = self._materialise_certain(working, name)
+        return self._apply_decorations(working, relation, ref.repair,
+                                       ref.choice, alias)
+
+    def _resolve_query_source(self, working: WorldSetDecomposition,
+                              query: Query, alias: str, repair, choice
+                              ) -> tuple[WorldSetDecomposition, tuple[str, str]]:
+        """Resolve a view or derived table into a transient relation."""
+        self._require_symbolic_plain(query)
+        assert isinstance(query, SelectQuery)
+        working, items = self._resolve_from(working, query.from_clause)
+        schema, entries = self._symbolic_entries(working, query, items)
+        if repair is not None or choice is not None:
+            if not all(any(c.is_true() for c in conds) for _, conds in entries):
+                raise _FallbackNeeded
+            relation = Relation(schema.without_qualifiers(),
+                                [row for row, _ in entries], coerce=False)
+            return self._apply_decorations(working, relation, repair, choice,
+                                           alias)
+        transient = self._new_transient_name()
+        working = self._install_entries(working, transient, schema, entries,
+                                        keep="extend")
+        return working, (transient, alias)
+
+    def _apply_decorations(self, working: WorldSetDecomposition,
+                           relation: Relation, repair, choice, alias: str
+                           ) -> tuple[WorldSetDecomposition, tuple[str, str]]:
+        if repair is not None and choice is not None:
+            raise _FallbackNeeded
+        transient = self._new_transient_name()
+        if repair is not None:
+            sub = from_key_repair(relation, repair.attributes,
+                                  weight=repair.weight, target_name=transient)
+        else:
+            sub = from_choice_of(relation, choice.attributes,
+                                 weight=choice.weight, target_name=transient)
+        if working.is_probabilistic():
+            sub = _uniformise(sub)
+        merged = _merge_decompositions(working, sub)
+        return merged, (transient, alias)
+
+    # -- strategy selection ----------------------------------------------------------------
+
+    def _needs_component_joint(self, query: SelectQuery) -> bool:
+        if query.group_by or query.having is not None:
+            return True
+        if query.order_by or query.limit is not None or query.offset:
+            return True
+        for expression in _query_expressions(query):
+            if contains_aggregate(expression) or contains_subquery(expression):
+                return True
+        return False
+
+    def _require_symbolic_plain(self, query: Query) -> None:
+        """Raise :class:`_FallbackNeeded` unless *query* is a plain select the
+        symbolic engine can evaluate (views, derived tables)."""
+        if not isinstance(query, SelectQuery):
+            raise _FallbackNeeded
+        if (query.quantifier is not None or query.conf
+                or query.assert_condition is not None
+                or query.group_worlds_by is not None):
+            raise _FallbackNeeded
+        if self._needs_component_joint(query):
+            raise _FallbackNeeded
+
+    # -- symbolic evaluation ----------------------------------------------------------------
+
+    def _evaluate_symbolic(self, working: WorldSetDecomposition,
+                           query: SelectQuery,
+                           items: list[tuple[str, str]]) -> WSDQueryResult:
+        schema, bag = self._symbolic_entries(working, query, items)
+        self.stats.symbolic += 1
+        if query.conf:
+            return self._symbolic_conf(working, query, schema, bag)
+        if query.quantifier is not None:
+            merged: dict[tuple, list[Condition]] = {}
+            for row, conditions in bag:
+                merged.setdefault(row, []).extend(conditions)
+            rows = list(merged)
+            if query.quantifier == "certain":
+                rows = [row for row in rows
+                        if self._or_conditions(working, merged[row])[1]]
+            elif query.quantifier != "possible":
+                raise AnalysisError(f"unknown quantifier {query.quantifier!r}")
+            return WSDQueryResult(kind="rows",
+                                  relation=_make_relation(schema, rows))
+        name = "answer"
+        answer = self._install_entries(working, name, schema, bag,
+                                       keep="answer")
+        return WSDQueryResult(kind="wsd", decomposition=answer,
+                              relation_name=name)
+
+    def _symbolic_entries(self, working: WorldSetDecomposition,
+                          query: SelectQuery, items: list[tuple[str, str]]
+                          ) -> tuple[Schema, list[tuple[tuple, list[Condition]]]]:
+        """Ground, filter and project: the symbolic core of a plain select."""
+        joined = self._join_sources(working, items, query.where)
+        schema, projected = self._project(query, joined)
+        if query.distinct:
+            merged = _merge_entries([(row, condition)
+                                     for row, condition in projected])
+            return schema, [(row, conds) for row, conds in merged.items()]
+        return schema, [(row, [condition]) for row, condition in projected]
+
+    def _join_sources(self, working: WorldSetDecomposition,
+                      items: list[tuple[str, str]],
+                      where: Optional[Expression]) -> SymbolicRelation:
+        """Join the FROM sources, pushing WHERE conjuncts down.
+
+        Mirrors the explicit planner's join selection: top-level AND
+        conjuncts that are ``left.col = right.col`` equalities become hash
+        join keys, conjuncts that only reference already-joined sources
+        filter before the next product, and whatever remains is applied on
+        the full join.  Conjunctive splitting is sound because a row
+        survives the conjunction only when every conjunct is True.
+        """
+        pending = _flatten_and(where) if where is not None else []
+        if not items:
+            # SELECT without FROM: one unconditional empty row.
+            joined = SymbolicRelation(Schema([]),
+                                      [SymTuple((), TRUE_CONDITION)])
+            for conjunct in pending:
+                joined = self._filter(joined, conjunct)
+            return joined
+        sources = [self._ground(working, name, alias) for name, alias in items]
+        later = [source.schema for source in sources[1:]]
+        joined, pending = self._apply_ready_filters(sources[0], pending, later)
+        for position, source in enumerate(sources[1:]):
+            later = [other.schema for other in sources[position + 2:]]
+            keys, pending = self._extract_equi_keys(
+                joined.schema, source.schema, pending, later)
+            if keys:
+                joined = self._hash_join(joined, source, keys)
+            else:
+                joined = self._cross_join(joined, source)
+            joined, pending = self._apply_ready_filters(joined, pending, later)
+        for conjunct in pending:
+            joined = self._filter(joined, conjunct)
+        return joined
+
+    def _cross_join(self, left: SymbolicRelation,
+                    right: SymbolicRelation) -> SymbolicRelation:
+        schema = left.schema.concat(right.schema)
+        tuples: list[SymTuple] = []
+        for mine in left.tuples:
+            for theirs in right.tuples:
+                condition = mine.condition.conjoin(theirs.condition)
+                if condition is None:
+                    continue
+                tuples.append(SymTuple(mine.row + theirs.row, condition))
+        return SymbolicRelation(schema, tuples)
+
+    def _hash_join(self, left: SymbolicRelation, right: SymbolicRelation,
+                   keys: list[tuple[Expression, Expression]]
+                   ) -> SymbolicRelation:
+        """Equi-join on hashed key values; NULL keys never join (SQL)."""
+        from ..relational.algebra import hash_key
+
+        schema = left.schema.concat(right.schema)
+        buckets: dict[tuple, list[SymTuple]] = {}
+        for sym in right.tuples:
+            context = EvalContext(schema=right.schema, row=sym.row)
+            key = tuple(expr.evaluate(context) for _, expr in keys)
+            if any(value is None for value in key):
+                continue
+            buckets.setdefault(hash_key(key), []).append(sym)
+        tuples: list[SymTuple] = []
+        for sym in left.tuples:
+            context = EvalContext(schema=left.schema, row=sym.row)
+            key = tuple(expr.evaluate(context) for expr, _ in keys)
+            if any(value is None for value in key):
+                continue
+            for other in buckets.get(hash_key(key), ()):
+                condition = sym.condition.conjoin(other.condition)
+                if condition is None:
+                    continue
+                tuples.append(SymTuple(sym.row + other.row, condition))
+        return SymbolicRelation(schema, tuples)
+
+    def _resolves_only_in(self, ref, schema: Schema,
+                          others: Sequence[Schema]) -> bool:
+        """True when *ref* binds uniquely in *schema* and nowhere else.
+
+        The "nowhere else" half keeps pushdown from changing binding
+        semantics: a reference that would be ambiguous (or bind elsewhere)
+        on the full join must wait for the full join.
+        """
+        if len(schema.find(ref.name, ref.qualifier)) != 1:
+            return False
+        return all(not other.find(ref.name, ref.qualifier)
+                   for other in others)
+
+    def _extract_equi_keys(self, left_schema: Schema, right_schema: Schema,
+                           conjuncts: list[Expression],
+                           later: Sequence[Schema]
+                           ) -> tuple[list[tuple[Expression, Expression]],
+                                      list[Expression]]:
+        from ..relational.expressions import BinaryOp, ColumnRef
+
+        keys: list[tuple[Expression, Expression]] = []
+        residual: list[Expression] = []
+        for conjunct in conjuncts:
+            if (isinstance(conjunct, BinaryOp) and conjunct.operator == "="
+                    and isinstance(conjunct.left, ColumnRef)
+                    and isinstance(conjunct.right, ColumnRef)):
+                first, second = conjunct.left, conjunct.right
+                others = list(later)
+                if self._resolves_only_in(first, left_schema,
+                                          [right_schema] + others) and \
+                        self._resolves_only_in(second, right_schema,
+                                               [left_schema] + others):
+                    keys.append((first, second))
+                    continue
+                if self._resolves_only_in(second, left_schema,
+                                          [right_schema] + others) and \
+                        self._resolves_only_in(first, right_schema,
+                                               [left_schema] + others):
+                    keys.append((second, first))
+                    continue
+            residual.append(conjunct)
+        return keys, residual
+
+    def _apply_ready_filters(self, source: SymbolicRelation,
+                             conjuncts: list[Expression],
+                             later: Sequence[Schema]
+                             ) -> tuple[SymbolicRelation, list[Expression]]:
+        """Apply the conjuncts that fully (and unambiguously) bind here."""
+        from ..relational.expressions import expression_columns
+
+        pending: list[Expression] = []
+        for conjunct in conjuncts:
+            references = expression_columns(conjunct)
+            if references and all(
+                    self._resolves_only_in(ref, source.schema, later)
+                    for ref in references):
+                source = self._filter(source, conjunct)
+            else:
+                pending.append(conjunct)
+        return source, pending
+
+    def _ground(self, working: WorldSetDecomposition, name: str, alias: str,
+                component_of: Optional[dict[Field, int]] = None
+                ) -> SymbolicRelation:
+        """Ground the template tuples of *name* into condition-annotated rows.
+
+        This is where predicates become pushable: each template tuple is
+        expanded into one ground tuple per distinct combination of its
+        *local* component alternatives, so the expansion is linear in the
+        decomposition's storage size, never in the world count.
+        """
+        template = working.template
+        schema = template.schemas[name].with_qualifier(alias)
+        if component_of is None:
+            component_of = self._component_index(working)
+        out: list[SymTuple] = []
+        for template_tuple in template.relation_tuples(name):
+            fields = template_tuple.fields()
+            if not fields:
+                out.append(SymTuple(template_tuple.cells, TRUE_CONDITION))
+                continue
+            field_set = set(fields)
+            component_ids: list[int] = []
+            for f in fields:
+                index = component_of[f]
+                if index not in component_ids:
+                    component_ids.append(index)
+            local_cases = []
+            for index in component_ids:
+                component = working.components[index]
+                own = [f for f in component.fields if f in field_set]
+                positions = [component.field_index(f) for f in own]
+                cases: dict[tuple, set[int]] = {}
+                for alt_index, alternative in enumerate(component.alternatives):
+                    key = tuple(alternative.values[p] for p in positions)
+                    cases.setdefault(key, set()).add(alt_index)
+                local_cases.append((index, own, list(cases.items())))
+            for combo in product(*(cases for _, _, cases in local_cases)):
+                assignment: dict[Field, Any] = {}
+                atoms: list[tuple[int, frozenset[int]]] = []
+                for (index, own, _), (values, alt_ids) in zip(local_cases, combo):
+                    assignment.update(zip(own, values))
+                    if len(alt_ids) < len(working.components[index]):
+                        atoms.append((index, frozenset(alt_ids)))
+                row = template_tuple.instantiate(assignment)
+                if row is None:
+                    continue
+                out.append(SymTuple(
+                    row, Condition(tuple(sorted(atoms, key=lambda kv: kv[0])))))
+        return SymbolicRelation(schema, out)
+
+    def _filter(self, source: SymbolicRelation,
+                predicate: Expression) -> SymbolicRelation:
+        kept = []
+        for sym in source.tuples:
+            context = EvalContext(schema=source.schema, row=sym.row)
+            if predicate.evaluate(context) is True:
+                kept.append(sym)
+        return SymbolicRelation(source.schema, kept)
+
+    def _project(self, query: SelectQuery, source: SymbolicRelation
+                 ) -> tuple[Schema, list[tuple[tuple, Condition]]]:
+        from ..core.planner import deduplicate_output_names, output_name
+        from ..relational.algebra import OutputColumn
+
+        items = query.select_items or [SelectItem(Star())]
+        outputs: list[OutputColumn] = []
+        for position, item in enumerate(items):
+            if isinstance(item.expression, Star):
+                qualifier = item.expression.qualifier
+                matched = [column for column in source.schema
+                           if qualifier is None
+                           or (column.qualifier or "").lower() == qualifier.lower()]
+                if not matched:
+                    from ..errors import PlanningError
+
+                    raise PlanningError(
+                        f"'{qualifier or '*'}.*' matches no columns")
+                from ..relational.expressions import ColumnRef
+
+                outputs.extend(OutputColumn(
+                    ColumnRef(column.name, column.qualifier), column.name)
+                    for column in matched)
+                continue
+            outputs.append(OutputColumn(item.expression,
+                                        output_name(item, position)))
+        outputs = deduplicate_output_names(outputs)
+        schema = Schema([Column(output.name) for output in outputs])
+        projected: list[tuple[tuple, Condition]] = []
+        for sym in source.tuples:
+            context = EvalContext(schema=source.schema, row=sym.row)
+            row = tuple(output.expression.evaluate(context)
+                        for output in outputs)
+            projected.append((row, sym.condition))
+        return schema, projected
+
+    def _symbolic_conf(self, working: WorldSetDecomposition,
+                       query: SelectQuery, schema: Schema,
+                       bag: list[tuple[tuple, list[Condition]]]
+                       ) -> WSDQueryResult:
+        if not query.select_items:
+            conditions = [condition for _, conds in bag for condition in conds]
+            mass = (self._or_conditions(working, conditions)[0]
+                    if conditions else 0.0)
+            return WSDQueryResult(
+                kind="rows",
+                relation=_make_relation(Schema([Column("conf")]), [(mass,)]))
+        merged = _merge_entries([(row, condition)
+                                 for row, conds in bag for condition in conds])
+        out_schema = Schema(list(schema.columns) + [Column("conf")])
+        rows = []
+        for row, conds in merged.items():
+            mass = self._or_conditions(working, conds)[0]
+            rows.append(row + (mass,))
+        return WSDQueryResult(kind="rows",
+                              relation=_make_relation(out_schema, rows))
+
+    # -- condition disjunctions --------------------------------------------------------------
+
+    def _or_conditions(self, working: WorldSetDecomposition,
+                       conditions: Sequence[Condition]) -> tuple[float, bool]:
+        """``(probability, holds-in-every-world)`` of a disjunction.
+
+        Only the components restricted by some condition are enumerated
+        jointly; in the common case (every condition a single atom on the
+        same component) no enumeration happens at all.
+        """
+        if any(condition.is_true() for condition in conditions):
+            return 1.0, True
+        involved: list[int] = sorted({index for condition in conditions
+                                      for index in condition.component_ids()})
+        if len(conditions) == 1:
+            mass = 1.0
+            for index, allowed in conditions[0].atoms:
+                mass *= self._atom_mass(working.components[index], allowed)
+            return mass, False
+        if all(len(condition.atoms) == 1 for condition in conditions):
+            # Closed form: each condition restricts a single component, so
+            # after merging same-component atoms the per-component events are
+            # independent and P(union) = 1 - prod_c (1 - P(event_c)).  This
+            # keeps conf linear in the number of touched components — the
+            # common shape when an answer row is produced by tuples of many
+            # independent key groups.
+            merged: dict[int, frozenset[int]] = {}
+            for condition in conditions:
+                index, allowed = condition.atoms[0]
+                merged[index] = merged.get(index, frozenset()) | allowed
+            miss = 1.0
+            covers = False
+            for index, union in merged.items():
+                component = working.components[index]
+                miss *= 1.0 - self._atom_mass(component, union)
+                if len(union) == len(component.alternatives):
+                    # One component's event happens in every world, so the
+                    # disjunction does too (no stored atom is ever full, so
+                    # this only triggers after merging).
+                    covers = True
+            return (1.0 - miss), covers
+        joint = 1
+        for index in involved:
+            joint *= len(working.components[index])
+        ensure_enumerable(joint, self.limit, operation="jointly enumerate")
+        total = 0.0
+        covers = True
+        ranges = [range(len(working.components[index].alternatives))
+                  for index in involved]
+        for combo in product(*ranges):
+            choice = dict(zip(involved, combo))
+            if any(condition.holds(choice) for condition in conditions):
+                total += self._joint_weight(working, involved, combo)
+            else:
+                covers = False
+        return total, covers
+
+    def _atom_mass(self, component: Component,
+                   allowed: frozenset[int]) -> float:
+        """Probability mass of *allowed* alternatives within one component.
+
+        Weighting is decided per component: a weighted component uses its
+        probabilities, an unweighted one counts uniformly.  The product over
+        components is always a normalised distribution, which matches the
+        explicit backend's (normalised) world weights even when weighted and
+        unweighted uncertainty mix in one decomposition.
+        """
+        if component.is_probabilistic():
+            return sum(component.alternatives[i].probability or 0.0
+                       for i in allowed)
+        return len(allowed) / len(component.alternatives)
+
+    def _joint_weight(self, working: WorldSetDecomposition,
+                      involved: Sequence[int],
+                      combo: Sequence[int]) -> float:
+        weight = 1.0
+        for index, alt_index in zip(involved, combo):
+            component = working.components[index]
+            if component.is_probabilistic():
+                weight *= component.alternatives[alt_index].probability or 0.0
+            else:
+                weight *= 1.0 / len(component.alternatives)
+        return weight
+
+    # -- component-joint evaluation ------------------------------------------------------------
+
+    def _evaluate_component_joint(self, working: WorldSetDecomposition,
+                                  query: SelectQuery,
+                                  items: list[tuple[str, str]]) -> WSDQueryResult:
+        answers, weights = self._component_joint_answers(working, query, items)
+        if query.conf:
+            if not query.select_items:
+                mass = sum(weight for answer, weight in zip(answers, weights)
+                           if len(answer) > 0)
+                return WSDQueryResult(
+                    kind="rows",
+                    relation=_make_relation(Schema([Column("conf")]),
+                                            [(mass,)]))
+            confidence: dict[tuple, float] = {}
+            order: list[tuple] = []
+            for answer, weight in zip(answers, weights):
+                for row in set(answer.rows):
+                    if row not in confidence:
+                        confidence[row] = 0.0
+                        order.append(row)
+                    confidence[row] += weight
+            schema = Schema(list(answers[0].schema.without_qualifiers().columns)
+                            + [Column("conf")])
+            rows = [row + (confidence[row],) for row in order]
+            return WSDQueryResult(kind="rows",
+                                  relation=_make_relation(schema, rows))
+        if query.quantifier is not None:
+            from ..core.executor import collect_quantifier
+
+            collected = collect_quantifier(query.quantifier, answers)
+            return WSDQueryResult(kind="rows", relation=collected)
+        order_keys: list[tuple] = []
+        grouped: dict[tuple, tuple[float, Relation]] = {}
+        for answer, weight in zip(answers, weights):
+            key = (tuple(answer.schema.names()), answer.fingerprint())
+            if key not in grouped:
+                order_keys.append(key)
+                grouped[key] = (weight, answer)
+            else:
+                mass, representative = grouped[key]
+                grouped[key] = (mass + weight, representative)
+        distribution = [(grouped[key][0], grouped[key][1])
+                        for key in order_keys]
+        return WSDQueryResult(kind="distribution", distribution=distribution)
+
+    def _iter_component_joints(self, working: WorldSetDecomposition,
+                               query: SelectQuery,
+                               items: list[tuple[str, str]]):
+        """Evaluate the plain core of *query* once per joint alternative of
+        the components touching its referenced relations.
+
+        Yields ``(combo, involved, answer)`` per joint alternative, where
+        *combo* is the alternative index per *involved* component.  This is
+        the single guarded joint-enumeration core shared by the query path
+        (:meth:`_component_joint_answers`) and the install path
+        (:meth:`_component_joint_entries`).
+        """
+        core = _strip_world_clauses(query, items=items)
+        names = [name for name, _ in items]
+        for name in _referenced_relation_names(core):
+            if any(existing.lower() == name.lower() for existing in names):
+                continue
+            if name.lower() in self.views:
+                raise UnsupportedFeatureError(
+                    "views cannot be referenced inside a nested query; "
+                    "materialise the view with CREATE TABLE ... AS first")
+            names.append(self._canonical_name(working, name))
+        fields = {f
+                  for name in names
+                  for t in working.template.relation_tuples(name)
+                  for f in t.fields()}
+        involved = [index for index, component in enumerate(working.components)
+                    if set(component.fields) & fields]
+        joint = 1
+        for index in involved:
+            joint *= len(working.components[index])
+        ensure_enumerable(joint, self.limit, operation="jointly enumerate")
+        from ..core.executor import Executor
+
+        executor = Executor(self.views)
+        ranges = [range(len(working.components[index].alternatives))
+                  for index in involved]
+        for combo in product(*ranges):
+            assignment: dict[Field, Any] = {}
+            for index, alt_index in zip(involved, combo):
+                component = working.components[index]
+                alternative = component.alternatives[alt_index]
+                assignment.update(alternative.value_map(component.fields))
+            catalog = Catalog()
+            for name in names:
+                catalog.create(name, _instantiate_relation(
+                    working.template, name, assignment))
+            answer = executor.evaluate_plain_in_world(core, World(catalog))
+            yield combo, involved, answer
+        self.stats.component_joint += 1
+
+    def _component_joint_answers(self, working: WorldSetDecomposition,
+                                 query: SelectQuery,
+                                 items: list[tuple[str, str]]
+                                 ) -> tuple[list[Relation], list[float]]:
+        answers: list[Relation] = []
+        weights: list[float] = []
+        for combo, involved, answer in self._iter_component_joints(
+                working, query, items):
+            answers.append(answer)
+            weights.append(self._joint_weight(working, involved, combo))
+        return answers, weights
+
+    def _component_joint_entries(self, working: WorldSetDecomposition,
+                                 query: SelectQuery,
+                                 items: list[tuple[str, str]]
+                                 ) -> tuple[Schema,
+                                            list[tuple[tuple, list[Condition]]]]:
+        """Entries for installing a plain aggregate query's per-world answers.
+
+        Each joint alternative is one full condition; a row that appears in
+        several joint answers carries the disjunction of their conditions, so
+        the installed relation reproduces every per-world answer exactly.
+        """
+        from collections import Counter
+
+        schema: Schema | None = None
+        row_order: list[tuple] = []
+        copies: dict[tuple, list[list[Condition]]] = {}
+        for combo, involved, answer in self._iter_component_joints(
+                working, query, items):
+            atoms = [(index, frozenset([alt_index]))
+                     for index, alt_index in zip(involved, combo)
+                     if len(working.components[index]) > 1]
+            condition = Condition(tuple(sorted(atoms, key=lambda kv: kv[0])))
+            if schema is None:
+                schema = answer.schema
+            for row, count in Counter(answer.rows).items():
+                if row not in copies:
+                    row_order.append(row)
+                slots = copies.setdefault(row, [])
+                for copy_index in range(count):
+                    if copy_index >= len(slots):
+                        slots.append([])
+                    slots[copy_index].append(condition)
+        entries: list[tuple[tuple, list[Condition]]] = []
+        for row in row_order:
+            for conditions in copies[row]:
+                entries.append((row, conditions))
+        return schema if schema is not None else Schema([]), entries
+
+    # -- assert (conditioning) ------------------------------------------------------------------
+
+    def _apply_assert(self, working: WorldSetDecomposition,
+                      condition: Expression) -> WorldSetDecomposition:
+        """Condition the decomposition on a world-level boolean and re-normalise."""
+        fields, predicate = self._world_event(working, condition)
+        touched = [component for component in working.components
+                   if set(component.fields) & set(fields)]
+        joint = 1
+        for component in touched:
+            joint *= len(component)
+        ensure_enumerable(joint, self.limit, operation="condition on")
+        try:
+            conditioned = working.condition(predicate, fields)
+        except EnumerationLimitError:
+            raise
+        except DecompositionError as exc:
+            raise WorldSetError("assert dropped every world") from exc
+        return normalize(conditioned)
+
+    def _world_event(self, working: WorldSetDecomposition,
+                     expression: Expression
+                     ) -> tuple[set[Field], Callable[[dict[Field, Any]], bool]]:
+        """Compile a world-level condition into ``(fields, predicate)``.
+
+        The compiled event only involves the fields that can influence the
+        condition, so conditioning merges as few components as possible —
+        this is the field-aware pushdown that keeps ``assert`` local.
+        """
+        compiled = self._compile_pruned_event(working, expression)
+        if compiled is not None:
+            return compiled
+        return self._generic_event(working, expression)
+
+    def _compile_pruned_event(self, working: WorldSetDecomposition,
+                              expression: Expression
+                              ) -> Optional[tuple[set[Field],
+                                                  Callable[[dict[Field, Any]], bool]]]:
+        from ..relational.expressions import BinaryOp, UnaryOp
+
+        if isinstance(expression, UnaryOp) and expression.operator.lower() == "not":
+            inner = self._compile_pruned_event(working, expression.operand)
+            if inner is None:
+                return None
+            fields, predicate = inner
+            return fields, lambda assignment: not predicate(assignment)
+        if isinstance(expression, BinaryOp) and \
+                expression.operator.lower() in ("and", "or"):
+            left = self._compile_pruned_event(working, expression.left)
+            right = self._compile_pruned_event(working, expression.right)
+            if left is None or right is None:
+                return None
+            combine = all if expression.operator.lower() == "and" else any
+            fields = left[0] | right[0]
+            return fields, lambda assignment: combine(
+                (left[1](assignment), right[1](assignment)))
+        if isinstance(expression, ExistsSubquery):
+            return self._compile_exists_event(working, expression)
+        return None
+
+    def _compile_exists_event(self, working: WorldSetDecomposition,
+                              node: ExistsSubquery
+                              ) -> Optional[tuple[set[Field],
+                                                  Callable[[dict[Field, Any]], bool]]]:
+        query = node.query
+        if not isinstance(query, SelectQuery):
+            return None
+        if (query.quantifier is not None or query.conf
+                or query.assert_condition is not None
+                or query.group_worlds_by is not None
+                or query.group_by or query.having is not None
+                or query.limit is not None or query.offset):
+            return None
+        if len(query.from_clause) != 1:
+            return None
+        ref = query.from_clause[0]
+        if not isinstance(ref, NamedTableRef) or ref.repair is not None \
+                or ref.choice is not None or ref.name.lower() in self.views:
+            return None
+        if query.where is not None and (
+                contains_subquery(query.where)
+                or contains_aggregate(query.where)):
+            return None
+        for item in query.select_items:
+            if contains_aggregate(item.expression) \
+                    or contains_subquery(item.expression):
+                # An aggregate select list makes EXISTS always true (one
+                # output row); leave those shapes to the generic event.
+                return None
+        try:
+            name = self._canonical_name(working, ref.name)
+        except UnknownRelationError:
+            return None
+        alias = ref.effective_alias()
+        schema = working.template.schemas[name].with_qualifier(alias)
+        where = query.where
+
+        def row_matches(row: tuple) -> bool:
+            if where is None:
+                return True
+            context = EvalContext(schema=schema, row=row)
+            return where.evaluate(context) is True
+
+        candidates = []
+        for template_tuple, sym in self._ground_by_tuple(working, name):
+            if any(row_matches(ground.row) for ground in sym):
+                candidates.append(template_tuple)
+        fields = {f for t in candidates for f in t.fields()}
+
+        def predicate(assignment: dict[Field, Any]) -> bool:
+            exists = False
+            for template_tuple in candidates:
+                row = template_tuple.instantiate(assignment)
+                if row is not None and row_matches(row):
+                    exists = True
+                    break
+            return not exists if node.negated else exists
+
+        return fields, predicate
+
+    def _ground_by_tuple(self, working: WorldSetDecomposition, name: str
+                         ) -> list[tuple[TemplateTuple, list[SymTuple]]]:
+        """Ground each template tuple of *name* separately (for pruning)."""
+        component_of = self._component_index(working)
+        grouped: list[tuple[TemplateTuple, list[SymTuple]]] = []
+        for template_tuple in working.template.relation_tuples(name):
+            scratch = Template({name: working.template.schemas[name]},
+                               [template_tuple])
+            scratch_wsd = WorldSetDecomposition.__new__(WorldSetDecomposition)
+            scratch_wsd.template = scratch
+            scratch_wsd.components = working.components
+            sym = self._ground(scratch_wsd, name, name,
+                               component_of=component_of)
+            grouped.append((template_tuple, sym.tuples))
+        return grouped
+
+    def _generic_event(self, working: WorldSetDecomposition,
+                       expression: Expression
+                       ) -> tuple[set[Field], Callable[[dict[Field, Any]], bool]]:
+        names = []
+        for name in _referenced_relation_names(expression):
+            if name.lower() in self.views:
+                raise UnsupportedFeatureError(
+                    "views cannot be referenced inside an assert condition "
+                    "on the wsd backend; materialise the view first")
+            names.append(self._canonical_name(working, name))
+        fields = {f
+                  for name in names
+                  for t in working.template.relation_tuples(name)
+                  for f in t.fields()}
+
+        def predicate(assignment: dict[Field, Any]) -> bool:
+            from ..core.executor import Executor
+
+            catalog = Catalog()
+            for name in names:
+                catalog.create(name, _instantiate_relation(
+                    working.template, name, assignment))
+            executor = Executor(self.views)
+            env = executor._make_env(World(catalog))
+            context = EvalContext(schema=Schema([]), row=(),
+                                  subquery_evaluator=env.subquery_evaluator)
+            return expression.evaluate(context) is True
+
+        return fields, predicate
+
+    # -- installing symbolic answers -------------------------------------------------------------
+
+    def _install_entries(self, working: WorldSetDecomposition, name: str,
+                         schema: Schema,
+                         entries: list[tuple[tuple, list[Condition]]],
+                         keep: str) -> WorldSetDecomposition:
+        """Bind *entries* as relation *name*: conditions become presence fields.
+
+        ``keep`` selects which existing relations survive: ``"extend"`` keeps
+        everything (transient materialisation during FROM resolution),
+        ``"session"`` drops transients and replaces *name* (CREATE TABLE AS),
+        ``"answer"`` keeps only the new relation (a compact query answer).
+        Components whose fields are no longer referenced are projected away
+        and the result is re-normalised.
+        """
+        groups: dict[int, _Group] = {}
+
+        def group_for(index: int) -> "_Group":
+            if index not in groups:
+                groups[index] = _Group.from_component(
+                    index, working.components[index])
+            return groups[index]
+
+        def merge_for(indexes: Sequence[int]) -> "_Group":
+            unique: list[_Group] = []
+            for index in indexes:
+                group = group_for(index)
+                if all(group is not existing for existing in unique):
+                    unique.append(group)
+            merged = unique[0]
+            for group in unique[1:]:
+                merged = merged.merge(group)
+            for origin in merged.origins:
+                groups[origin] = merged
+            return merged
+
+        template = self._surviving_template(working, name, schema, keep)
+        presence_counter = self._fresh_field_start(working, name)
+        for row, conditions in entries:
+            satisfiable = [c for c in conditions if c is not None]
+            if any(condition.is_true() for condition in satisfiable):
+                template.add_tuple(name, row)
+                continue
+            if not satisfiable:
+                continue
+            involved: list[int] = []
+            for condition in satisfiable:
+                for index in condition.component_ids():
+                    if index not in involved:
+                        involved.append(index)
+            group = merge_for(involved)
+            presence = Field(name, presence_counter, EXISTS_ATTRIBUTE)
+            presence_counter += 1
+            group.attach_presence(presence, satisfiable)
+            template.add_tuple(name, row, presence=presence)
+        final_components = [component
+                            for index, component in enumerate(working.components)
+                            if index not in groups]
+        seen_groups: list[_Group] = []
+        for group in groups.values():
+            if all(group is not existing for existing in seen_groups):
+                seen_groups.append(group)
+        final_components.extend(group.to_component()
+                                for group in seen_groups)
+        return prune_and_normalize(template, final_components)
+
+    def _surviving_template(self, working: WorldSetDecomposition, name: str,
+                            schema: Schema, keep: str) -> Template:
+        template = Template()
+        if keep not in ("extend", "session", "answer"):
+            raise AnalysisError(f"unknown install mode {keep!r}")
+        if keep != "answer":
+            for existing, existing_schema in working.template.schemas.items():
+                if existing.lower() == name.lower():
+                    continue
+                if keep == "session" and existing.startswith(TRANSIENT_PREFIX):
+                    continue
+                template.schemas[existing] = existing_schema
+            for template_tuple in working.template.tuples:
+                if template_tuple.relation in template.schemas:
+                    template.tuples.append(template_tuple)
+        template.add_relation(name, schema.without_qualifiers())
+        return template
+
+    def _fresh_field_start(self, working: WorldSetDecomposition,
+                           name: str) -> int:
+        used = [f.tuple_id
+                for component in working.components
+                for f in component.fields
+                if f.relation.lower() == name.lower()]
+        used += [f.tuple_id for f in working.template.all_fields()
+                 if f.relation.lower() == name.lower()]
+        return max(used, default=-1) + 1
+
+    # -- fallback ---------------------------------------------------------------------------------
+
+    def _fallback(self, query: Query) -> WSDQueryResult:
+        """Decompose-then-enumerate: the guarded explicit execution path."""
+        from ..core.executor import Executor
+
+        self.stats.fallback += 1
+        world_set = self.base.to_worldset(self.limit)
+        outcome = Executor(self.views).evaluate_query(query, world_set)
+        return WSDQueryResult(kind="explicit", explicit=outcome)
+
+    # -- template bookkeeping ---------------------------------------------------------------------
+
+    def _canonical_name(self, working: WorldSetDecomposition,
+                        name: str) -> str:
+        return canonical_relation_name(working.template, name)
+
+    def _relation_is_certain(self, working: WorldSetDecomposition,
+                             name: str) -> bool:
+        return relation_is_certain(working.template, name)
+
+    def _materialise_certain(self, working: WorldSetDecomposition,
+                             name: str) -> Relation:
+        return materialise_certain(working.template, name)
+
+    def _component_index(self, working: WorldSetDecomposition
+                         ) -> dict[Field, int]:
+        mapping: dict[Field, int] = {}
+        for index, component in enumerate(working.components):
+            for f in component.fields:
+                mapping[f] = index
+        return mapping
+
+
+# -- install bookkeeping ------------------------------------------------------------------------
+
+
+class _Group:
+    """A set of merged components, tracking original alternative indexes.
+
+    Attaching a presence field needs to evaluate conditions (which speak
+    about *original* component alternatives) against merged alternatives, so
+    each merged alternative remembers the original index per origin.
+    """
+
+    __slots__ = ("origins", "fields", "values", "probs", "alt_origins")
+
+    def __init__(self, origins: list[int], fields: list[Field],
+                 values: list[tuple], probs: list[float | None],
+                 alt_origins: list[tuple[int, ...]]) -> None:
+        self.origins = origins
+        self.fields = fields
+        self.values = values
+        self.probs = probs
+        self.alt_origins = alt_origins
+
+    @classmethod
+    def from_component(cls, index: int, component: Component) -> "_Group":
+        return cls([index], list(component.fields),
+                   [a.values for a in component.alternatives],
+                   [a.probability for a in component.alternatives],
+                   [(i,) for i in range(len(component.alternatives))])
+
+    def merge(self, other: "_Group") -> "_Group":
+        values: list[tuple] = []
+        probs: list[float | None] = []
+        alt_origins: list[tuple[int, ...]] = []
+        for mine, mine_p, mine_o in zip(self.values, self.probs,
+                                        self.alt_origins):
+            for theirs, theirs_p, theirs_o in zip(other.values, other.probs,
+                                                  other.alt_origins):
+                values.append(mine + theirs)
+                if mine_p is not None and theirs_p is not None:
+                    probs.append(mine_p * theirs_p)
+                else:
+                    probs.append(None)
+                alt_origins.append(mine_o + theirs_o)
+        return _Group(self.origins + other.origins,
+                      self.fields + other.fields, values, probs, alt_origins)
+
+    def attach_presence(self, presence: Field,
+                        conditions: Sequence[Condition]) -> None:
+        self.fields.append(presence)
+        for position, origin_indexes in enumerate(self.alt_origins):
+            choice = dict(zip(self.origins, origin_indexes))
+            present = any(condition.holds(choice) for condition in conditions)
+            self.values[position] = self.values[position] + (present,)
+
+    def to_component(self) -> Component:
+        # A component cannot mix weighted and unweighted alternatives; a
+        # group stays probabilistic only when every alternative carries a
+        # probability (merging a weighted with an unweighted component drops
+        # to the unweighted reading, mirroring the explicit backend's
+        # probability-None propagation).
+        probs = self.probs
+        if any(prob is None for prob in probs):
+            probs = [None] * len(self.values)
+        return Component(self.fields,
+                         [Alternative(values, prob)
+                          for values, prob in zip(self.values, probs)])
+
+
+# -- module helpers -----------------------------------------------------------------------------
+
+
+def _flatten_and(expression: Expression) -> list[Expression]:
+    """Split a conjunction into its top-level conjuncts."""
+    from ..relational.expressions import BinaryOp
+
+    if isinstance(expression, BinaryOp) and expression.operator.lower() == "and":
+        return _flatten_and(expression.left) + _flatten_and(expression.right)
+    return [expression]
+
+
+def canonical_relation_name(template: Template, name: str) -> str:
+    """Resolve *name* case-insensitively to the template's stored key."""
+    for existing in template.schemas:
+        if existing.lower() == name.lower():
+            return existing
+    raise UnknownRelationError(name)
+
+
+def relation_is_certain(template: Template, name: str) -> bool:
+    """True when every template tuple of *name* is fully constant."""
+    return all(not t.fields() for t in template.relation_tuples(name))
+
+
+def materialise_certain(template: Template, name: str) -> Relation:
+    """Build the concrete relation of a certain template relation."""
+    relation = Relation(template.schemas[name], [], name=name)
+    relation.rows = [t.cells for t in template.relation_tuples(name)]
+    return relation
+
+
+def prune_and_normalize(template: Template,
+                        components: Iterable[Component]
+                        ) -> WorldSetDecomposition:
+    """Drop fields no template tuple references, then re-normalise.
+
+    Worlds distinguishable only through dropped fields merge; for
+    non-probabilistic components the projection keeps duplicate alternatives
+    so the uniform world weights stay faithful to the explicit backend.
+    """
+    referenced = {f for t in template.tuples for f in t.fields()}
+    pruned: list[Component] = []
+    for component in components:
+        kept_fields = [f for f in component.fields if f in referenced]
+        if not kept_fields:
+            continue
+        if len(kept_fields) == len(component.fields):
+            pruned.append(component)
+        elif component.is_probabilistic():
+            pruned.append(component.project(kept_fields))
+        else:
+            positions = [component.field_index(f) for f in kept_fields]
+            alternatives = [Alternative(tuple(a.values[p] for p in positions))
+                            for a in component.alternatives]
+            pruned.append(Component(kept_fields, alternatives))
+    return normalize(WorldSetDecomposition(template, pruned))
+
+
+def _make_relation(schema: Schema, rows: list[tuple]) -> Relation:
+    relation = Relation(schema, [], coerce=False)
+    relation.rows = list(rows)
+    return relation
+
+
+def _merge_entries(pairs: Iterable[tuple[tuple, Condition]]
+                   ) -> dict[tuple, list[Condition]]:
+    merged: dict[tuple, list[Condition]] = {}
+    for row, condition in pairs:
+        merged.setdefault(row, []).append(condition)
+    return merged
+
+
+def _instantiate_relation(template: Template, name: str,
+                          assignment: dict[Field, Any]) -> Relation:
+    relation = Relation(template.schemas[name], [], name=name)
+    rows = []
+    for template_tuple in template.relation_tuples(name):
+        row = template_tuple.instantiate(assignment)
+        if row is not None:
+            rows.append(row)
+    relation.rows = rows
+    return relation
+
+
+def _merge_decompositions(base: WorldSetDecomposition,
+                          extension: WorldSetDecomposition
+                          ) -> WorldSetDecomposition:
+    """Union of templates and components (field sets must be disjoint)."""
+    template = Template(dict(base.template.schemas),
+                        list(base.template.tuples))
+    for name, schema in extension.template.schemas.items():
+        template.schemas[name] = schema
+    template.tuples.extend(extension.template.tuples)
+    return WorldSetDecomposition(
+        template, list(base.components) + list(extension.components))
+
+
+def _uniformise(decomposition: WorldSetDecomposition) -> WorldSetDecomposition:
+    """Give unweighted components uniform probabilities.
+
+    Used when an unweighted ``repair by key`` / ``choice of`` extends a
+    probabilistic decomposition: the explicit backend divides the parent
+    world's mass uniformly among the split worlds, and the WSD counterpart
+    of that is a uniform component.
+    """
+    components = []
+    for component in decomposition.components:
+        if component.is_probabilistic():
+            components.append(component)
+        else:
+            uniform = 1.0 / len(component.alternatives)
+            components.append(Component(
+                component.fields,
+                [Alternative(a.values, uniform)
+                 for a in component.alternatives]))
+    return WorldSetDecomposition(decomposition.template, components)
+
+
+def _strip_world_clauses(query: SelectQuery,
+                         items: Optional[list[tuple[str, str]]] = None,
+                         keep_collection: bool = False) -> SelectQuery:
+    """The plain per-world core of *query* (world-level clauses removed).
+
+    When *items* is given the FROM clause is rewritten to the resolved
+    relation names, so repairs / choices / views already materialised into
+    the working decomposition are referenced directly.
+    """
+    from_clause: list[TableRef]
+    if items is not None:
+        from_clause = [NamedTableRef(name, alias) for name, alias in items]
+    else:
+        from_clause = list(query.from_clause)
+    return SelectQuery(
+        select_items=list(query.select_items),
+        from_clause=from_clause,
+        where=query.where,
+        group_by=list(query.group_by),
+        having=query.having,
+        order_by=list(query.order_by),
+        limit=query.limit,
+        offset=query.offset,
+        distinct=query.distinct,
+        quantifier=query.quantifier if keep_collection else None,
+        conf=query.conf if keep_collection else False,
+        assert_condition=None,
+        group_worlds_by=None,
+    )

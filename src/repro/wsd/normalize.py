@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .component import Alternative, Component
+from .component import Component
 from .decomposition import Template, WorldSetDecomposition
 from .fields import Field
 

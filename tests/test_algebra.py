@@ -33,7 +33,6 @@ from repro.relational.expressions import (
     Star,
 )
 from repro.relational.relation import Relation
-from repro.relational.schema import Column, Schema
 
 
 @pytest.fixture

@@ -1,0 +1,58 @@
+"""The enumeration guard: a dedicated, informative error for huge world-sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EnumerationLimitError, MayBMS
+from repro.errors import DecompositionError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads import DirtyRelationSpec, dirty_key_relation
+from repro.wsd import from_key_repair
+
+
+@pytest.fixture
+def big_wsd():
+    """A decomposition of 4^20 worlds — far beyond the default guard."""
+    relation = dirty_key_relation(DirtyRelationSpec(groups=20, options=4,
+                                                    seed=11))
+    return from_key_repair(relation, ["K"], weight="W", target_name="I")
+
+
+class TestGuardError:
+    def test_is_a_decomposition_error(self, big_wsd):
+        with pytest.raises(DecompositionError):
+            big_wsd.to_worldset()
+
+    def test_carries_world_count_and_limit(self, big_wsd):
+        with pytest.raises(EnumerationLimitError) as excinfo:
+            big_wsd.to_worldset(limit=1000)
+        error = excinfo.value
+        assert error.world_count == 4 ** 20
+        assert error.limit == 1000
+        assert str(error.world_count) in str(error)
+        assert "1000" in str(error)
+
+    def test_iter_assignments_guarded(self, big_wsd):
+        with pytest.raises(EnumerationLimitError):
+            list(big_wsd.iter_assignments())
+
+    def test_limit_none_disables_the_guard(self):
+        relation = Relation(Schema(["K", "P", "W"]),
+                            [(0, 1, 1), (0, 2, 1), (1, 1, 1), (1, 2, 1)])
+        wsd = from_key_repair(relation, ["K"], weight="W", target_name="I")
+        worlds = wsd.to_worldset(limit=None)
+        assert len(worlds) == 4
+
+    def test_wsd_backend_raises_for_inherently_exponential_queries(self):
+        relation = dirty_key_relation(DirtyRelationSpec(groups=30, options=4,
+                                                        seed=11))
+        db = MayBMS({"Dirty": relation}, backend="wsd")
+        db.execute(
+            "create table I as select K, P1 from Dirty repair by key K weight W;")
+        # A possible-aggregate touches every component of I jointly, which is
+        # exactly what the guard must refuse on 4^30 worlds.
+        with pytest.raises(EnumerationLimitError) as excinfo:
+            db.execute("select possible sum(P1) from I;")
+        assert excinfo.value.world_count == 4 ** 30

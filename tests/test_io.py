@@ -7,7 +7,6 @@ import sqlite3
 import pytest
 
 from repro.errors import SchemaError, UnknownRelationError
-from repro.relational.catalog import Catalog
 from repro.relational.csv_io import (
     read_csv,
     relation_from_csv_text,

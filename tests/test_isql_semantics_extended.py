@@ -13,7 +13,6 @@ import pytest
 from repro import MayBMS
 from repro.datasets import figure1_database
 from repro.errors import UnsupportedFeatureError, WorldSetError
-from repro.relational.relation import Relation
 
 
 @pytest.fixture

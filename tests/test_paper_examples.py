@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import MayBMS
 from repro.datasets import figure2_expected_probabilities
 
 

@@ -16,7 +16,6 @@ from repro.relational.expressions import (
     InSubquery,
     IsNull,
     Like,
-    Literal,
     QuantifiedComparison,
     ScalarSubquery,
     Star,

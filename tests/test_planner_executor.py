@@ -4,14 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro import MayBMS
 from repro.core.executor import Executor
 from repro.core.planner import Planner, ResolvedFrom
-from repro.datasets import figure1_database
 from repro.errors import PlanningError, UnknownRelationError
 from repro.relational.algebra import (
     AggregateOp,
-    CrossJoinOp,
     DistinctOp,
     FilterOp,
     HashJoinOp,

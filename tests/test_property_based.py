@@ -14,7 +14,6 @@ The key invariants:
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

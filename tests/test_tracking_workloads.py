@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import MayBMS
 from repro.datasets import (
     cleaning_relation_r,
     cleaning_swap_relation_s,
@@ -52,8 +51,8 @@ class TestObservationModel:
             Observation(1, uncertain=[UncertainAttribute("Pos", ("a", "b"))]),
             Observation(2, uncertain=[UncertainAttribute("Pos", ("a", "b"))]),
         ]
-        no_collision = lambda assignment: (
-            assignment[1]["Pos"] != assignment[2]["Pos"])
+        def no_collision(assignment):
+            return assignment[1]["Pos"] != assignment[2]["Pos"]
         world_set = build_tracking_worlds(observations,
                                           constraints=[no_collision])
         assert len(world_set) == 2

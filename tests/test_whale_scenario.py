@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro import MayBMS
-from repro.datasets import figure3_whale_worlds, figure4_expected_groups
+from repro.datasets import figure4_expected_groups
 from repro.tracking import (
     attack_possibility_sql,
     gender_independence_check,

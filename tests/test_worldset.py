@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ProbabilityError, WorldSetError
-from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.worldset import (
     World,
@@ -169,7 +168,9 @@ class TestWorldSetOperations:
 
     def test_possible_and_certain(self):
         world_set = WorldSet([make_world(1), make_world(2)])
-        query = lambda world: world.relation("T")
+        def query(world):
+            return world.relation("T")
+
         assert sorted(world_set.possible(query).rows) == [(1,), (2,)]
         assert world_set.certain(query).rows == []
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import DecompositionError, ProbabilityError
-from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.wsd import (
     Alternative,
@@ -13,10 +12,6 @@ from repro.wsd import (
     Field,
     Template,
     WorldSetDecomposition,
-    from_choice_of,
-    from_key_repair,
-    from_tuple_independent,
-    from_worldset,
 )
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets import figure1_database, figure2_expected_worlds
 from repro.errors import DecompositionError, ProbabilityError
 from repro.relational.relation import Relation
 from repro.worldset import WorldSet, repair_by_key

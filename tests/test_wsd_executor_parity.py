@@ -1,0 +1,287 @@
+"""Differential tests: the WSD-native backend against the explicit backend.
+
+Every query in the paper-example corpus (the queries exercised by
+``tests/test_paper_examples.py``, plus joins, views, derived tables and
+DISTINCT) is executed through both ``MayBMS(backend="explicit")`` and
+``MayBMS(backend="wsd")`` on the same inputs, and the answers — rows,
+confidences and per-world answer distributions — must be identical.
+
+While the WSD backend executes, explicit world enumeration
+(:meth:`WorldSetDecomposition.to_worldset` / ``iter_assignments``) is patched
+to raise, proving that the supported query classes are answered on the
+decomposition itself; the backend's fallback counter must stay at zero.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from unittest import mock
+
+import pytest
+
+from repro import MayBMS
+from repro.datasets import figure1_database
+from repro.wsd import WorldSetDecomposition
+
+#: Statements building the paper's session state (Example 2.4, weighted).
+WEIGHTED_SETUP = [
+    "create table I as select A, B, C from R repair by key A weight D;",
+]
+
+#: The same repair without weights (non-probabilistic worlds).
+UNWEIGHTED_SETUP = [
+    "create table I as select A, B, C from R repair by key A;",
+]
+
+#: The query corpus: every worked-example query shape of Section 2, plus the
+#: relational extras both backends must agree on.
+QUERY_CORPUS = [
+    # Example 2.1: plain per-world selection.
+    "select * from I where A = 'a3';",
+    "select * from I;",
+    # Examples 2.3 / 2.4: repair by key inside a query.
+    "select A, B, C from R repair by key A weight D;",
+    "select A, B, C from R repair by key A;",
+    # Examples 2.6 / 2.7: choice-of partitions.
+    "select * from S choice of E;",
+    "select * from R choice of A weight D;",
+    # Example 2.5: assert.
+    "select * from I assert not exists(select * from I where C = 'c1');",
+    "select certain C from I "
+    "assert not exists(select * from I where C = 'c1');",
+    # Example 2.8: per-world aggregates and possible aggregates.
+    "select sum(B) from I;",
+    "select possible sum(B) from I;",
+    # Example 2.9: possible / certain over choice-of.
+    "select certain E from S choice of C;",
+    "select possible E from S choice of C;",
+    # Example 2.10: confidence of world-level conditions.
+    "select conf from I where 50 > (select sum(B) from I);",
+    "select conf from I where 56 > (select sum(B) from I);",
+    "select conf from I where 10 > (select sum(B) from I);",
+    "select conf from I;",
+    # Tuple confidences and their possible / certain counterparts.
+    "select conf, A, B, C from I;",
+    # Weighted repair queried over a possibly-unweighted session: weighting
+    # must be decided per component, not for the whole decomposition.
+    "select conf, A, B, C from R repair by key A weight D;",
+    "select possible A, B, C from I;",
+    "select certain A, B, C from I;",
+    "select possible B from I where B > 12;",
+    # Plain DISTINCT, joins, derived tables, ORDER BY / LIMIT.
+    "select distinct A from I;",
+    "select possible I.A, S.E from I, S where I.C = S.C;",
+    "select conf, I.A, S.E from I, S where I.C = S.C;",
+    "select possible x.B from (select B from I where B > 14) x;",
+    "select possible B from I order by B desc limit 1;",
+    "select possible i1.A, i2.A from I i1, I i2 "
+    "where i1.B = i2.B and i1.A <> i2.A;",
+]
+
+
+@contextlib.contextmanager
+def forbid_world_enumeration():
+    """Patch explicit materialisation so any call fails the test."""
+
+    def refuse(*args, **kwargs):
+        raise AssertionError(
+            "the WSD backend materialised explicit worlds for a query "
+            "class that must be answered on the decomposition")
+
+    with mock.patch.object(WorldSetDecomposition, "to_worldset", refuse), \
+            mock.patch.object(WorldSetDecomposition, "iter_assignments",
+                              refuse):
+        yield
+
+
+def build_sessions(setup):
+    explicit = MayBMS(figure1_database(), backend="explicit")
+    wsd = MayBMS(figure1_database(), backend="wsd")
+    for statement in setup:
+        explicit.execute(statement)
+        wsd.execute(statement)
+    return explicit, wsd
+
+
+def canonical_rows(rows):
+    """Rows with floats rounded, as a sorted multiset."""
+    normalised = []
+    for row in rows:
+        normalised.append(tuple(round(value, 9) if isinstance(value, float)
+                                else value for value in row))
+    return sorted(normalised, key=repr)
+
+
+def answer_distribution(pairs):
+    """``(probability, relation)`` pairs folded into fingerprint -> mass.
+
+    Masses are normalised to sum to one: when a weighted ``repair by key`` /
+    ``choice of`` splits probability-``None`` worlds, the explicit backend
+    assigns each derived world its local weight without dividing by the
+    number of parents, so raw masses can sum to the parent count.
+    """
+    weights = [probability for probability, _ in pairs]
+    if any(weight is None for weight in weights):
+        weights = [1.0 / len(pairs)] * len(pairs)
+    total = sum(weights)
+    weights = [weight / total for weight in weights]
+    distribution: dict[tuple, float] = {}
+    for weight, (_, relation) in zip(weights, pairs):
+        fingerprint = (tuple(relation.schema.names()), relation.fingerprint())
+        distribution[fingerprint] = distribution.get(fingerprint, 0.0) + weight
+    return distribution
+
+
+def assert_distributions_equal(actual, expected, context):
+    assert set(actual) == set(expected), context
+    for fingerprint, mass in expected.items():
+        assert actual[fingerprint] == pytest.approx(mass), context
+
+
+def explicit_distribution(result):
+    return answer_distribution(
+        [(answer.probability, answer.relation)
+         for answer in result.world_answers])
+
+
+def wsd_distribution(result):
+    if result.is_world_rows():
+        return answer_distribution(
+            [(answer.probability, answer.relation)
+             for answer in result.world_answers])
+    assert result.is_wsd_rows()
+    worlds = result.answer_decomposition().to_worldset()
+    return answer_distribution(
+        [(world.probability, world.relation(result.relation_name))
+         for world in worlds])
+
+
+@pytest.mark.parametrize("setup", [WEIGHTED_SETUP, UNWEIGHTED_SETUP],
+                         ids=["weighted", "unweighted"])
+@pytest.mark.parametrize("query", QUERY_CORPUS)
+def test_backends_agree(setup, query):
+    explicit, wsd = build_sessions(setup)
+    expected = explicit.execute(query)
+    with forbid_world_enumeration():
+        actual = wsd.execute(query)
+    assert wsd.backend.stats.fallback == 0, \
+        f"query fell back to world materialisation: {query}"
+    if expected.is_rows():
+        assert actual.is_rows(), f"result kind diverged for: {query}"
+        assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
+    else:
+        assert expected.is_world_rows()
+        assert_distributions_equal(wsd_distribution(actual),
+                                   explicit_distribution(expected), query)
+
+
+class TestSessionStateParity:
+    """CREATE TABLE AS must leave both backends in equivalent states."""
+
+    def test_world_counts_match_after_repair(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        assert wsd.world_count() == explicit.world_count() == 4
+
+    def test_assert_install_renormalises_identically(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        statement = ("create table J as select * from I "
+                     "assert not exists(select * from I where C = 'c1');")
+        explicit.execute(statement)
+        with forbid_world_enumeration():
+            wsd.execute(statement)
+        assert wsd.world_count() == explicit.world_count() == 2
+        query = "select conf, A, B, C from J;"
+        assert canonical_rows(wsd.execute(query).rows()) == \
+            canonical_rows(explicit.execute(query).rows())
+
+    def test_materialised_aggregate_table(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        statement = "create table T as select A, sum(B) as S from I group by A;"
+        explicit.execute(statement)
+        with forbid_world_enumeration():
+            wsd.execute(statement)
+        query = "select conf, A, S from T;"
+        assert canonical_rows(wsd.execute(query).rows()) == \
+            canonical_rows(explicit.execute(query).rows())
+
+    def test_chained_derivations(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        statements = [
+            "create table D as select * from I where A = 'a3';",
+            "create table K as select A, B from I where B >= 15;",
+        ]
+        for statement in statements:
+            explicit.execute(statement)
+            with forbid_world_enumeration():
+                wsd.execute(statement)
+        for query in ["select conf, A, B, C from D;",
+                      "select possible A, B from K;",
+                      "select certain A, B from K;"]:
+            assert canonical_rows(wsd.execute(query).rows()) == \
+                canonical_rows(explicit.execute(query).rows()), query
+
+    def test_views_evaluate_identically(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        view = "create view V as select A, B from I where B >= 20;"
+        explicit.execute(view)
+        wsd.execute(view)
+        query = "select possible B from V;"
+        expected = explicit.execute(query)
+        with forbid_world_enumeration():
+            actual = wsd.execute(query)
+        assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
+
+
+class TestWsdBackendBasics:
+    """Backend-specific behaviour that has no explicit counterpart."""
+
+    def test_backend_name_and_state_accessors(self):
+        wsd = MayBMS(figure1_database(), backend="wsd")
+        assert wsd.backend_name == "wsd"
+        assert wsd.decomposition.world_count() == 1
+        with pytest.raises(Exception):
+            _ = wsd.world_set
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            MayBMS(backend="turbo")
+
+    def test_plain_select_returns_compact_answer(self):
+        _, wsd = build_sessions(WEIGHTED_SETUP)
+        result = wsd.execute("select * from I where A = 'a3';")
+        assert result.is_wsd_rows()
+        # The answer is certain, so the compact form needs exactly one world.
+        assert result.answer_decomposition().world_count() == 1
+
+    def test_group_worlds_by_falls_back_explicitly(self):
+        _, wsd = build_sessions(WEIGHTED_SETUP)
+        result = wsd.execute(
+            "select possible B from I group worlds by (select sum(B) from I);")
+        assert result.is_world_rows()
+        assert wsd.backend.stats.fallback == 1
+
+    def test_dml_on_complete_relations(self):
+        wsd = MayBMS(backend="wsd")
+        wsd.create_table("T", ["A", "B"], rows=[("x", 1), ("y", 2)])
+        wsd.execute("insert into T values ('z', 3);")
+        wsd.execute("update T set B = B + 10 where A = 'x';")
+        wsd.execute("delete from T where A = 'y';")
+        assert sorted(wsd.relation("T").rows) == [("x", 11), ("z", 3)]
+
+    def test_scales_past_explicit_enumeration(self):
+        from repro.workloads import DirtyRelationSpec, dirty_key_relation
+
+        relation = dirty_key_relation(
+            DirtyRelationSpec(groups=40, options=4, seed=5))
+        wsd = MayBMS({"Dirty": relation}, backend="wsd")
+        with forbid_world_enumeration():
+            wsd.execute("create table I as "
+                        "select K, P1, P2 from Dirty repair by key K weight W;")
+            assert wsd.decomposition.log10_world_count() > 20
+            confidences = wsd.execute("select conf, K, P1 from I where K = 0;")
+            assert len(confidences.rows()) == 4
+            total = sum(row[-1] for row in confidences.rows())
+            assert total == pytest.approx(1.0)
+            possible = wsd.execute("select possible K from I;")
+            assert len(possible.rows()) == 40
+        assert wsd.backend.stats.fallback == 0
