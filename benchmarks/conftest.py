@@ -49,6 +49,26 @@ def scale2_specs() -> tuple[DirtyRelationSpec, DirtyRelationSpec]:
             DirtyRelationSpec(groups=60, options=4, seed=3))
 
 
+def scale2_correlated_parameters() -> dict:
+    """Parameters for the SCALE-2 correlated-``conf`` sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation, each a
+    component of the repair; the self-join correlates neighbouring groups, so
+    the old joint enumeration is ``options ** groups``).
+    ``explicit_limit`` bounds the world count the explicit backend runs at;
+    ``joint_limit`` is the enumeration limit handed to the old
+    joint-enumeration confidence path, so even the smoke sweep has a point
+    where that path provably gives up.
+    """
+    if BENCH_SMOKE:
+        # Tiny sweep, tiny guard: the largest point still exceeds the
+        # lowered joint limit, so the infeasibility branch is exercised.
+        return {"groups": (3, 6), "options": 2, "explicit_limit": 64,
+                "joint_limit": 16}
+    return {"groups": (4, 8, 12, 16, 20, 24), "options": 2,
+            "explicit_limit": 256, "joint_limit": None}
+
+
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print a small aligned table (the benchmark's reproduction of a figure)."""
     rendered = [[str(cell) for cell in row] for row in rows]

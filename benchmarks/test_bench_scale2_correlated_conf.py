@@ -1,0 +1,171 @@
+"""BENCH_SCALE2 — correlated ``conf``: d-tree vs. joint enumeration vs. explicit.
+
+SCALE-1 showed that ``conf`` over *independent* components is linear on the
+decomposition.  This series measures the query class that is **not** covered
+by the single-atom closed form: a self-join over a key-repaired relation
+whose join conditions correlate neighbouring key groups, producing a
+disjunction of *multi-atom* conjunctions over a chain of components.
+
+Three engines answer the same query at every sweep point:
+
+* **explicit** — one answer per world (only at the small points);
+* **joint enumeration** — the pre-d-tree WSD confidence path
+  (``confidence_engine="enumerate"``): exponential in the touched
+  components, it hits :class:`~repro.errors.EnumerationLimitError` long
+  before the representation does;
+* **d-tree** — the exact decomposition-tree engine
+  (:mod:`repro.wsd.confidence`): polynomial on this (hierarchical) DNF.
+
+All engines must agree exactly (1e-9) wherever they can answer at all, the
+d-tree path must never fall back to enumeration on this workload
+(``confidence_stats.enumeration_fallbacks == 0`` — asserted here and relied
+on by the CI bench-smoke job), and at the largest point the d-tree must
+answer a query the old path refuses.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import EnumerationLimitError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import SqlType
+from repro.workloads import DirtyRelationSpec, dirty_key_relation
+
+from conftest import BENCH_SMOKE, print_table, scale2_correlated_parameters
+
+PARAMS = scale2_correlated_parameters()
+
+REPAIR_STATEMENT = ("create table I as "
+                    "select K, P1, P2 from Dirty repair by key K weight W;")
+
+#: The correlated workload: I joined with itself along a link table pairing
+#: neighbouring key groups.  Every surviving join row carries a two-atom
+#: condition (one atom per key-group component), and the ``conf`` aggregates
+#: a disjunction chaining *all* groups together.
+CONF_QUERY = ("select conf from I i1, L, I i2 "
+              "where i1.K = L.A and i2.K = L.B and i1.P1 > i2.P1 + 8000;")
+
+
+def _build_inputs(groups: int):
+    relation = dirty_key_relation(
+        DirtyRelationSpec(groups=groups, options=PARAMS["options"], seed=3))
+    link = Relation(Schema([Column("A", SqlType.INTEGER),
+                            Column("B", SqlType.INTEGER)]),
+                    [(k, k + 1) for k in range(groups - 1)], name="L")
+    return relation, link
+
+
+def _wsd_session(relation, link, confidence: str):
+    db = MayBMS({"Dirty": relation, "L": link}, backend="wsd")
+    db.backend.confidence_engine = confidence
+    if PARAMS["joint_limit"] is not None and confidence == "enumerate":
+        db.backend.enumeration_limit = PARAMS["joint_limit"]
+    db.execute(REPAIR_STATEMENT)
+    return db
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, (time.perf_counter() - start) * 1000.0
+
+
+def test_scale2_correlated_conf_dtree_vs_enumeration_vs_explicit(benchmark):
+    rows = []
+    infeasible_joint_points = 0
+    for groups in PARAMS["groups"]:
+        relation, link = _build_inputs(groups)
+        world_count = PARAMS["options"] ** groups
+
+        dtree_db = _wsd_session(relation, link, "dtree")
+        dtree_result, dtree_ms = _timed(lambda: dtree_db.execute(CONF_QUERY))
+        dtree_conf = dtree_result.rows()[0][0]
+        stats = dtree_db.backend.confidence_stats
+        # The headline guarantee: this query class is answered by the d-tree,
+        # never by falling back to joint enumeration, and never by
+        # materialising worlds.
+        assert stats.dtree >= 1
+        assert stats.enumeration_fallbacks == 0
+        assert dtree_db.backend.stats.fallback == 0
+
+        enum_db = _wsd_session(relation, link, "enumerate")
+        joint_limit = enum_db.backend.enumeration_limit
+        if joint_limit is None or world_count <= joint_limit:
+            enum_result, enum_ms = _timed(lambda: enum_db.execute(CONF_QUERY))
+            enum_conf = enum_result.rows()[0][0]
+            assert enum_conf == pytest.approx(dtree_conf, abs=1e-9)
+            enum_cell = round(enum_ms, 2)
+        else:
+            with pytest.raises(EnumerationLimitError):
+                enum_db.execute(CONF_QUERY)
+            infeasible_joint_points += 1
+            enum_cell = "EnumerationLimitError"
+
+        if world_count <= PARAMS["explicit_limit"]:
+            explicit_db = MayBMS({"Dirty": relation, "L": link})
+            explicit_db.execute(REPAIR_STATEMENT)
+            explicit_result, explicit_ms = _timed(
+                lambda: explicit_db.execute(CONF_QUERY))
+            assert explicit_result.rows()[0][0] == \
+                pytest.approx(dtree_conf, abs=1e-9)
+            explicit_cell = round(explicit_ms, 2)
+        else:
+            explicit_cell = "infeasible"
+
+        rows.append((f"G{groups}", world_count, explicit_cell, enum_cell,
+                     round(dtree_ms, 2), round(dtree_conf, 6)))
+    assert infeasible_joint_points > 0, (
+        "the sweep must include a point the joint-enumeration path refuses")
+    if not BENCH_SMOKE:
+        # Acceptance bar: the largest point — infeasible for both baselines —
+        # answers exactly via the d-tree in well under 50ms.
+        assert rows[-1][2] == "infeasible"
+        assert rows[-1][3] == "EnumerationLimitError"
+        assert rows[-1][4] < 50.0, (
+            f"d-tree conf took {rows[-1][4]}ms at the largest point")
+    print_table("BENCH_SCALE2: correlated conf latency (ms)",
+                ["point", "worlds", "explicit", "joint enumeration",
+                 "d-tree", "conf"], rows)
+
+    # One stable timing for the benchmark harness: the d-tree at the largest
+    # (joint-enumeration-infeasible) point.
+    relation, link = _build_inputs(PARAMS["groups"][-1])
+    db = _wsd_session(relation, link, "dtree")
+    answer = benchmark(lambda: db.execute(CONF_QUERY))
+    assert 0.0 <= answer.rows()[0][0] <= 1.0 + 1e-9
+
+
+def test_scale2_correlated_per_row_conf_parity(benchmark):
+    """Per-row confidences (multi-atom disjunction per answer row) agree with
+    the explicit backend at a small point and stay d-tree-only at a large one."""
+    groups = PARAMS["groups"][0]
+    relation, link = _build_inputs(groups)
+    query = ("select conf, i1.K from I i1, L, I i2 "
+             "where i1.K = L.A and i2.K = L.B and i1.P1 > i2.P1;")
+
+    def canonical(result):
+        return sorted(tuple(round(value, 9) if isinstance(value, float)
+                            else value for value in row)
+                      for row in result.rows())
+
+    explicit_db = MayBMS({"Dirty": relation, "L": link})
+    explicit_db.execute(REPAIR_STATEMENT)
+    expected = canonical(explicit_db.execute(query))
+
+    dtree_db = _wsd_session(relation, link, "dtree")
+    assert canonical(dtree_db.execute(query)) == expected
+
+    large_relation, large_link = _build_inputs(PARAMS["groups"][-1])
+    large_db = _wsd_session(large_relation, large_link, "dtree")
+    result = benchmark(lambda: large_db.execute(query))
+    assert len(result.rows()) > 0
+    assert large_db.backend.confidence_stats.enumeration_fallbacks == 0
+    assert large_db.backend.stats.fallback == 0
+    print_table("BENCH_SCALE2: per-row correlated conf (first rows)",
+                ["K", "conf"],
+                [tuple(row) for row in result.rows()[:4]])

@@ -57,6 +57,7 @@ from ..wsd.decomposition import (
     WorldSetDecomposition,
 )
 from ..wsd.execute import (
+    ConfidenceStats,
     WSDExecutor,
     WsdExecutionStats,
     canonical_relation_name,
@@ -466,8 +467,8 @@ class WsdBackend(ExecutionBackend):
     name = "wsd"
 
     def __init__(self, catalog: Catalog | dict[str, Relation] | None = None,
-                 enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT
-                 ) -> None:
+                 enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
+                 confidence_engine: str = "dtree") -> None:
         template = Template()
         if catalog is not None:
             if isinstance(catalog, dict):
@@ -478,8 +479,17 @@ class WsdBackend(ExecutionBackend):
         self.views = {}
         self.primary_keys = {}
         self.enumeration_limit = enumeration_limit
+        #: How ``conf`` / ``certain`` disjunctions are evaluated: ``"dtree"``
+        #: (the exact d-tree engine, default), ``"enumerate"`` (the guarded
+        #: joint-enumeration baseline) or ``"cross-check"`` (d-tree verified
+        #: against enumeration wherever feasible).
+        self.confidence_engine = confidence_engine
         #: Accumulated per-strategy counters across all executed statements.
         self.stats = WsdExecutionStats()
+        #: Accumulated confidence-computation counters (closed forms, d-tree
+        #: rule firings, memo hits and — crucially for CI — enumeration
+        #: fallbacks) across all executed statements.
+        self.confidence_stats = ConfidenceStats()
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -582,7 +592,8 @@ class WsdBackend(ExecutionBackend):
 
     def _executor(self) -> WSDExecutor:
         return WSDExecutor(self.decomposition, self.views,
-                           enumeration_limit=self.enumeration_limit)
+                           enumeration_limit=self.enumeration_limit,
+                           confidence=self.confidence_engine)
 
     def _execute_query(self, query: Query) -> StatementResult:
         executor = self._executor()
@@ -590,6 +601,7 @@ class WsdBackend(ExecutionBackend):
             result = executor.evaluate_query(query)
         finally:
             self.stats.merge(executor.stats)
+            self.confidence_stats.merge(executor.confidence_stats)
         if result.kind == "rows":
             return StatementResult(kind="rows", relation=result.relation)
         if result.kind == "wsd":
@@ -621,6 +633,7 @@ class WsdBackend(ExecutionBackend):
                 statement.name, statement.query)
         finally:
             self.stats.merge(executor.stats)
+            self.confidence_stats.merge(executor.confidence_stats)
         return StatementResult(
             kind="command",
             message=(f"created table {statement.name} "

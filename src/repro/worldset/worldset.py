@@ -242,19 +242,31 @@ class WorldSet:
                    if event(world))
 
     def _world_weights(self) -> list[float]:
-        if self.is_probabilistic():
-            weights = [float(world.probability) for world in self.worlds]
-            total = sum(weights)
-            if total > 0:
-                # Normalise: weighted splits of probability-None worlds can
-                # leave the raw masses summing to the parent count, and a
-                # confidence is a probability, not a raw mass.
-                return [weight / total for weight in weights]
-            return weights
         if not self.worlds:
             return []
-        uniform = 1.0 / len(self.worlds)
-        return [uniform] * len(self.worlds)
+        raw = [world.probability for world in self.worlds]
+        given = [weight for weight in raw if weight is not None]
+        if not given:
+            uniform = 1.0 / len(self.worlds)
+            return [uniform] * len(self.worlds)
+        if len(given) < len(raw):
+            # Partially weighted: the probability-None worlds share the
+            # residual mass uniformly, mirroring
+            # :meth:`repro.wsd.component.Component.effective_probabilities`
+            # so both backends read mixed weighting identically.
+            residual = max(0.0, 1.0 - sum(given))
+            share = residual / (len(raw) - len(given))
+            weights = [share if weight is None else float(weight)
+                       for weight in raw]
+        else:
+            weights = [float(weight) for weight in raw]
+        total = sum(weights)
+        if total > 0:
+            # Normalise: weighted splits of probability-None worlds can
+            # leave the raw masses summing to the parent count, and a
+            # confidence is a probability, not a raw mass.
+            return [weight / total for weight in weights]
+        return weights
 
     # -- group worlds by -------------------------------------------------------------------------
 

@@ -1,6 +1,13 @@
 """World-set decompositions: the compact representation of large world-sets."""
 
 from .component import Alternative, Component
+from .confidence import (
+    DEFAULT_NODE_BUDGET,
+    ConfidenceStats,
+    DTreeBudgetExceededError,
+    DTreeEngine,
+    normalise_clauses,
+)
 from .construct import (
     add_certain_relation,
     from_choice_of,
@@ -31,7 +38,11 @@ __all__ = [
     "Alternative",
     "Component",
     "Condition",
+    "ConfidenceStats",
     "DEFAULT_ENUMERATION_LIMIT",
+    "DEFAULT_NODE_BUDGET",
+    "DTreeBudgetExceededError",
+    "DTreeEngine",
     "EXISTS_ATTRIBUTE",
     "Field",
     "SymTuple",
@@ -50,6 +61,7 @@ __all__ = [
     "from_tuple_independent",
     "from_worldset",
     "is_normalized",
+    "normalise_clauses",
     "normalize",
     "prune_and_normalize",
 ]

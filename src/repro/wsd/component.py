@@ -38,7 +38,7 @@ class Alternative:
 class Component:
     """A set of fields together with their possible joint assignments."""
 
-    __slots__ = ("fields", "alternatives")
+    __slots__ = ("fields", "alternatives", "_effective")
 
     def __init__(self, fields: Sequence[Field],
                  alternatives: Iterable[Alternative | tuple]) -> None:
@@ -59,6 +59,7 @@ class Component:
         if not normalized:
             raise DecompositionError("a component needs at least one alternative")
         self.alternatives: list[Alternative] = normalized
+        self._effective: list[float] | None = None
         self._validate_probabilities()
 
     # -- invariants -----------------------------------------------------------------
@@ -68,19 +69,66 @@ class Component:
         with_p = [p for p in probabilities if p is not None]
         if not with_p:
             return
-        if len(with_p) != len(probabilities):
-            raise ProbabilityError(
-                "component mixes weighted and unweighted alternatives")
-        total = sum(with_p)
         if any(p < 0 for p in with_p):
             raise ProbabilityError("negative alternative probability")
+        total = sum(with_p)
+        if len(with_p) != len(probabilities):
+            # Partially weighted: the unweighted alternatives share the
+            # residual mass uniformly (see :meth:`effective_probabilities`),
+            # so the explicit weights must leave non-negative residual.
+            if total > 1.0 + 1e-6:
+                raise ProbabilityError(
+                    "weighted alternatives of a partially-weighted component "
+                    f"sum to {total}, leaving no residual mass for the "
+                    "unweighted alternatives")
+            return
         if abs(total - 1.0) > 1e-6:
             raise ProbabilityError(
                 f"component alternative probabilities sum to {total}, expected 1")
 
     def is_probabilistic(self) -> bool:
-        """True when the alternatives carry probabilities."""
-        return self.alternatives[0].probability is not None
+        """True when some alternative carries a probability.
+
+        A partially-weighted component (weighted alternatives next to
+        ``probability=None`` ones) counts as probabilistic: the unweighted
+        alternatives carry the uniform share of the residual mass.
+        """
+        return any(a.probability is not None for a in self.alternatives)
+
+    def effective_probabilities(self) -> list[float]:
+        """Per-alternative probability mass, always summing to one.
+
+        * fully weighted: the stored probabilities;
+        * fully unweighted: uniform ``1 / len``;
+        * partially weighted: explicit probabilities are kept and the
+          ``None`` alternatives split the residual ``1 - sum(given)``
+          uniformly — the decomposition counterpart of
+          :meth:`repro.worldset.worldset.WorldSet._world_weights`
+          normalisation, which keeps confidences probabilities even when
+          weighted and unweighted uncertainty mix.
+
+        The list is computed once per component and cached (components are
+        treated as immutable after construction), so hot confidence loops do
+        not re-allocate it.
+        """
+        cached = self._effective
+        if cached is not None:
+            return cached
+        probabilities = [a.probability for a in self.alternatives]
+        missing = sum(1 for p in probabilities if p is None)
+        if missing == len(probabilities):
+            uniform = 1.0 / len(probabilities)
+            effective = [uniform] * len(probabilities)
+        elif missing == 0:
+            effective = [float(p) for p in probabilities]
+        else:
+            residual = max(0.0, 1.0 - sum(p for p in probabilities
+                                          if p is not None))
+            share = residual / missing
+            effective = [share if p is None else float(p)
+                         for p in probabilities]
+        self._effective = effective
+        return effective
 
     # -- size and membership ------------------------------------------------------------
 
@@ -118,24 +166,21 @@ class Component:
         """The marginal distribution of *target* (uniform when unweighted)."""
         index = self.field_index(target)
         weights: dict[Any, float] = {}
-        uniform = 1.0 / len(self.alternatives)
-        for alternative in self.alternatives:
+        for alternative, probability in zip(self.alternatives,
+                                            self.effective_probabilities()):
             value = alternative.values[index]
-            probability = (alternative.probability
-                           if alternative.probability is not None else uniform)
             weights[value] = weights.get(value, 0.0) + probability
         return weights
 
     def satisfaction_probability(self, predicate: Callable[[dict[Field, Any]], bool]
                                  ) -> float:
         """Probability mass of the alternatives satisfying *predicate*."""
-        uniform = 1.0 / len(self.alternatives)
         total = 0.0
-        for alternative in self.alternatives:
+        for alternative, probability in zip(self.alternatives,
+                                            self.effective_probabilities()):
             assignment = alternative.value_map(self.fields)
             if predicate(assignment):
-                total += (alternative.probability
-                          if alternative.probability is not None else uniform)
+                total += probability
         return total
 
     # -- conditioning -----------------------------------------------------------------------------
@@ -146,18 +191,22 @@ class Component:
         This implements ``assert`` at the component level when the asserted
         condition only involves this component's fields.
         """
-        kept = [alternative for alternative in self.alternatives
+        kept = [(alternative, probability)
+                for alternative, probability in zip(self.alternatives,
+                                                    self.effective_probabilities())
                 if predicate(alternative.value_map(self.fields))]
         if not kept:
             raise DecompositionError(
                 "conditioning removed every alternative of the component")
         if self.is_probabilistic():
-            total = sum(a.probability for a in kept)  # type: ignore[misc]
+            total = sum(probability for _, probability in kept)
             if total <= 0:
                 raise ProbabilityError("conditioning left zero probability mass")
-            kept = [Alternative(a.values, a.probability / total)  # type: ignore[operator]
-                    for a in kept]
-        return Component(self.fields, kept)
+            survivors = [Alternative(alternative.values, probability / total)
+                         for alternative, probability in kept]
+        else:
+            survivors = [alternative for alternative, _ in kept]
+        return Component(self.fields, survivors)
 
     # -- restructuring ------------------------------------------------------------------------------
 
@@ -169,14 +218,15 @@ class Component:
         probabilities of the alternatives mapping to it.
         """
         indexes = [self.field_index(f) for f in fields]
+        effective = self.effective_probabilities()
         seen: dict[tuple, float | None] = {}
         order: list[tuple] = []
-        uniform = 1.0 / len(self.alternatives)
-        for alternative in self.alternatives:
+        for alternative, mass in zip(self.alternatives, effective):
             key = tuple(alternative.values[i] for i in indexes)
-            weight = (alternative.probability
-                      if alternative.probability is not None else
-                      (uniform if renormalize else None))
+            weight: float | None = mass
+            if alternative.probability is None and not renormalize \
+                    and not self.is_probabilistic():
+                weight = None
             if key not in seen:
                 order.append(key)
                 seen[key] = weight
@@ -194,14 +244,20 @@ class Component:
                 f"cannot merge components sharing fields: {sorted(map(str, overlap))}")
         fields = self.fields + other.fields
         alternatives = []
-        for mine in self.alternatives:
-            for theirs in other.alternatives:
-                if mine.probability is None and theirs.probability is None:
-                    probability = None
-                else:
-                    probability = (mine.probability or 1.0) * (theirs.probability or 1.0)
+        if not self.is_probabilistic() and not other.is_probabilistic():
+            for mine in self.alternatives:
+                for theirs in other.alternatives:
+                    alternatives.append(Alternative(mine.values + theirs.values))
+            return Component(fields, alternatives)
+        # At least one side is weighted: merge with effective masses, so a
+        # weighted component merged with an unweighted (uniform) or
+        # partially-weighted one still yields a proper distribution.
+        for mine, mine_mass in zip(self.alternatives,
+                                   self.effective_probabilities()):
+            for theirs, theirs_mass in zip(other.alternatives,
+                                           other.effective_probabilities()):
                 alternatives.append(Alternative(mine.values + theirs.values,
-                                                probability))
+                                                mine_mass * theirs_mass))
         return Component(fields, alternatives)
 
     # -- equality / display ------------------------------------------------------------------------------

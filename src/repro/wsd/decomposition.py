@@ -204,17 +204,23 @@ class WorldSetDecomposition:
         if not self.components:
             yield {}, 1.0
             return
-        choice_lists = [component.alternatives for component in self.components]
+        choice_lists = []
+        for component in self.components:
+            masses = (component.effective_probabilities()
+                      if component.is_probabilistic()
+                      else [None] * len(component))
+            choice_lists.append(list(zip(component.alternatives, masses)))
         for combination in product(*choice_lists):
             assignment: dict[Field, Any] = {}
             probability: float | None = 1.0
             probabilistic = True
-            for component, alternative in zip(self.components, combination):
+            for component, (alternative, mass) in zip(self.components,
+                                                      combination):
                 assignment.update(alternative.value_map(component.fields))
-                if alternative.probability is None:
+                if mass is None:
                     probabilistic = False
                 else:
-                    probability *= alternative.probability
+                    probability *= mass
             yield assignment, (probability if probabilistic else None)
 
     def instantiate(self, assignment: dict[Field, Any]) -> Catalog:
@@ -248,17 +254,15 @@ class WorldSetDecomposition:
         """
         probability = 1.0
         for component in self.components:
-            matches = [alternative for alternative in component.alternatives
+            matches = [index for index, alternative
+                       in enumerate(component.alternatives)
                        if all(assignment.get(f) == v
                               for f, v in zip(component.fields, alternative.values))]
             if len(matches) != 1:
                 raise DecompositionError(
                     "assignment does not select exactly one alternative of "
                     f"component {component!r}")
-            alternative = matches[0]
-            probability *= (alternative.probability
-                            if alternative.probability is not None
-                            else 1.0 / len(component))
+            probability *= component.effective_probabilities()[matches[0]]
         return probability
 
     def possible_values(self, target: Field) -> set[Any]:
@@ -279,29 +283,131 @@ class WorldSetDecomposition:
     def tuple_confidence(self, relation: str, row: Sequence[Any]) -> float:
         """Exact confidence that *relation* contains *row*.
 
-        Only the components touching template tuples that could produce the
-        row are enumerated jointly; all other components are irrelevant to the
-        event and are skipped, which keeps the computation polynomial for
-        decompositions whose tuples do not share components (the common case
-        produced by ``repair by key``).
+        The event "some template tuple instantiates to *row*" compiles into a
+        DNF over (component, allowed-alternative-set) atoms — one clause per
+        candidate template tuple — and is evaluated exactly by the d-tree
+        engine via :meth:`dnf_confidence`: independent clauses multiply out,
+        exclusive clauses add, and shared components Shannon-expand.
+        Components no candidate touches are never looked at, and no joint
+        enumeration happens unless the d-tree budget is exceeded (then the
+        guarded joint enumeration of the touched components runs).
         """
         row = tuple(row)
         candidates = [t for t in self.template.relation_tuples(relation)
                       if self._could_match(t, row)]
         if not candidates:
             return 0.0
+        clauses = self._tuple_clauses(candidates, row)
+        if clauses is not None:
+            return self.dnf_confidence(clauses)
+        # A field not covered by any component (malformed decomposition):
+        # fall back to the guarded predicate enumeration.
         relevant = self._relevant_components(candidates)
+        ensure_enumerable(math.prod(len(c) for c in relevant),
+                          DEFAULT_ENUMERATION_LIMIT,
+                          operation="jointly enumerate")
 
         def event(assignment: dict[Field, Any]) -> bool:
             return any(t.instantiate(assignment) == row for t in candidates)
 
         return self._event_probability(relevant, event)
 
+    def dnf_confidence(self, clauses, stats=None,
+                       limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> float:
+        """Exact probability of a DNF over (component, allowed-set) atoms.
+
+        Evaluated by the d-tree engine (:mod:`repro.wsd.confidence`);
+        *stats* (a :class:`~repro.wsd.confidence.ConfidenceStats`) records
+        how.  If the engine's node budget is exceeded — a DNF far from
+        hierarchical — the involved components are enumerated jointly,
+        guarded by *limit* and counted in ``stats.enumeration_fallbacks``.
+        """
+        from .confidence import DTreeBudgetExceededError, DTreeEngine
+
+        clauses = [tuple(clause) for clause in clauses]
+        try:
+            return DTreeEngine(self.components, stats=stats
+                               ).probability(clauses)
+        except DTreeBudgetExceededError:
+            if stats is not None:
+                stats.enumeration_fallbacks += 1
+        involved = sorted({index for clause in clauses
+                           for index, _ in clause})
+        ensure_enumerable(
+            math.prod(len(self.components[index]) for index in involved),
+            limit, operation="jointly enumerate")
+        masses = [self.components[index].effective_probabilities()
+                  for index in involved]
+        position_of = {index: position
+                       for position, index in enumerate(involved)}
+        total = 0.0
+        for combo in product(*(range(len(self.components[index]))
+                               for index in involved)):
+            if any(all(combo[position_of[index]] in allowed
+                       for index, allowed in clause) for clause in clauses):
+                weight = 1.0
+                for position, alt_index in enumerate(combo):
+                    weight *= masses[position][alt_index]
+                total += weight
+        return total
+
+    def _tuple_clauses(self, candidates: Sequence[TemplateTuple], row: tuple
+                       ) -> list[list[tuple[int, frozenset[int]]]] | None:
+        """Compile "some candidate instantiates to *row*" into DNF clauses.
+
+        Each candidate becomes one clause: per component touched by the
+        candidate, the set of alternatives assigning every relevant field its
+        required value (cells must equal the row, the presence field must be
+        truthy).  Returns ``None`` when a field is not covered by any
+        component (malformed decompositions fall back to enumeration).
+        """
+        component_of: dict[Field, int] = {}
+        for index, component in enumerate(self.components):
+            for f in component.fields:
+                component_of[f] = index
+        clauses: list[list[tuple[int, frozenset[int]]]] = []
+        for candidate in candidates:
+            required: list[tuple[Field, Any, bool]] = []
+            for cell, value in zip(candidate.cells, row):
+                if isinstance(cell, Field):
+                    required.append((cell, value, False))
+            if candidate.presence is not None:
+                required.append((candidate.presence, True, True))
+            atoms: dict[int, frozenset[int]] = {}
+            satisfiable = True
+            for f, value, truthy in required:
+                index = component_of.get(f)
+                if index is None:
+                    return None
+                component = self.components[index]
+                position = component.field_index(f)
+                if truthy:
+                    allowed = frozenset(
+                        i for i, alternative in enumerate(component.alternatives)
+                        if alternative.values[position])
+                else:
+                    allowed = frozenset(
+                        i for i, alternative in enumerate(component.alternatives)
+                        if alternative.values[position] == value)
+                if index in atoms:
+                    allowed &= atoms[index]
+                if not allowed:
+                    satisfiable = False
+                    break
+                atoms[index] = allowed
+            if satisfiable:
+                clauses.append(sorted(atoms.items()))
+        return clauses
+
     def event_confidence(self, predicate: Callable[[dict[Field, Any]], bool],
                          fields: Iterable[Field]) -> float:
         """Probability that *predicate* over *fields* holds.
 
-        Only the components covering *fields* are enumerated jointly.
+        The predicate is opaque, so the components covering *fields* are
+        enumerated jointly.  When the event is known as a DNF over
+        (component, allowed alternative set) atoms, use
+        :meth:`dnf_confidence` instead — the d-tree engine evaluates it
+        without enumeration.
         """
         involved = set(fields)
         relevant = [component for component in self.components
@@ -327,15 +433,15 @@ class WorldSetDecomposition:
         if not components:
             return 1.0 if predicate({}) else 0.0
         total = 0.0
-        choice_lists = [component.alternatives for component in components]
+        choice_lists = [list(zip(component.alternatives,
+                                 component.effective_probabilities()))
+                        for component in components]
         for combination in product(*choice_lists):
             assignment: dict[Field, Any] = {}
             probability = 1.0
-            for component, alternative in zip(components, combination):
+            for component, (alternative, mass) in zip(components, combination):
                 assignment.update(alternative.value_map(component.fields))
-                probability *= (alternative.probability
-                                if alternative.probability is not None
-                                else 1.0 / len(component))
+                probability *= mass
             if predicate(assignment):
                 total += probability
         return total

@@ -77,6 +77,12 @@ from ..sqlparser.ast_nodes import (
 )
 from ..worldset.world import World
 from .component import Alternative, Component
+from .confidence import (
+    ConfidenceStats,
+    DTreeBudgetExceededError,
+    DTreeEngine,
+    connected_groups,
+)
 from .construct import from_choice_of, from_key_repair
 from .decomposition import (
     DEFAULT_ENUMERATION_LIMIT,
@@ -90,6 +96,7 @@ from .normalize import normalize
 
 __all__ = [
     "Condition",
+    "ConfidenceStats",
     "SymTuple",
     "SymbolicRelation",
     "WsdExecutionStats",
@@ -115,7 +122,6 @@ class _FallbackNeeded(Exception):
 # -- conditions -------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Condition:
     """A conjunction of per-component alternative restrictions.
 
@@ -125,17 +131,31 @@ class Condition:
     are never stored.  Conjunction intersects allowed sets; an empty
     intersection means the condition is unsatisfiable and the carrying tuple
     is dropped.
+
+    Conditions are hot: join loops ``conjoin`` them per produced row and the
+    confidence engine hashes them as DNF clauses, so the class is slotted and
+    caches its hash and component-id tuple.  Treat instances as immutable.
     """
 
-    atoms: tuple[tuple[int, frozenset[int]], ...] = ()
+    __slots__ = ("atoms", "_hash", "_ids")
+
+    def __init__(self,
+                 atoms: tuple[tuple[int, frozenset[int]], ...] = ()) -> None:
+        self.atoms = atoms
+        self._hash: int | None = None
+        self._ids: tuple[int, ...] | None = None
 
     def is_true(self) -> bool:
         """True for the unconditional (every-world) condition."""
         return not self.atoms
 
-    def component_ids(self) -> list[int]:
-        """The indexes of the components this condition restricts."""
-        return [index for index, _ in self.atoms]
+    def component_ids(self) -> tuple[int, ...]:
+        """The indexes of the components this condition restricts (cached)."""
+        ids = self._ids
+        if ids is None:
+            ids = tuple(index for index, _ in self.atoms)
+            self._ids = ids
+        return ids
 
     def conjoin(self, other: "Condition") -> Optional["Condition"]:
         """The conjunction of two conditions, or None when unsatisfiable."""
@@ -158,11 +178,26 @@ class Condition:
         """True when the joint alternative *choice* satisfies the condition."""
         return all(choice[index] in indexes for index, indexes in self.atoms)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.atoms)
+            self._hash = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Condition({self.atoms!r})"
+
 
 TRUE_CONDITION = Condition()
 
 
-@dataclass
+@dataclass(slots=True)
 class SymTuple:
     """A ground tuple annotated with the condition under which it exists."""
 
@@ -170,7 +205,7 @@ class SymTuple:
     condition: Condition
 
 
-@dataclass
+@dataclass(slots=True)
 class SymbolicRelation:
     """A relation of condition-annotated ground tuples (one FROM source)."""
 
@@ -299,7 +334,12 @@ class WSDExecutor:
 
     def __init__(self, decomposition: WorldSetDecomposition,
                  views: dict[str, Query] | None = None,
-                 enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT) -> None:
+                 enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
+                 confidence: str = "dtree") -> None:
+        if confidence not in ("dtree", "enumerate", "cross-check"):
+            raise AnalysisError(
+                f"unknown confidence mode {confidence!r} "
+                "(expected 'dtree', 'enumerate' or 'cross-check')")
         self.base = decomposition
         self.views: dict[str, Query] = {}
         if views:
@@ -307,6 +347,13 @@ class WSDExecutor:
                 self.views[name.lower()] = query
         self.limit = enumeration_limit
         self.stats = WsdExecutionStats()
+        #: How condition disjunctions are evaluated: ``"dtree"`` (default),
+        #: ``"enumerate"`` (the pre-d-tree guarded joint enumeration, kept as
+        #: a benchmark baseline) or ``"cross-check"`` (d-tree verified
+        #: against enumeration wherever enumeration is feasible).
+        self.confidence = confidence
+        self.confidence_stats = ConfidenceStats()
+        self._engines: dict[int, tuple[WorldSetDecomposition, DTreeEngine]] = {}
         self._transient_counter = 0
 
     # -- public API ---------------------------------------------------------------------
@@ -483,7 +530,7 @@ class WSDExecutor:
             rows = list(merged)
             if query.quantifier == "certain":
                 rows = [row for row in rows
-                        if self._or_conditions(working, merged[row])[1]]
+                        if self._conditions_cover(working, merged[row])]
             elif query.quantifier != "possible":
                 raise AnalysisError(f"unknown quantifier {query.quantifier!r}")
             return WSDQueryResult(kind="rows",
@@ -743,7 +790,7 @@ class WSDExecutor:
                        ) -> WSDQueryResult:
         if not query.select_items:
             conditions = [condition for _, conds in bag for condition in conds]
-            mass = (self._or_conditions(working, conditions)[0]
+            mass = (self._condition_probability(working, conditions)
                     if conditions else 0.0)
             return WSDQueryResult(
                 kind="rows",
@@ -753,29 +800,79 @@ class WSDExecutor:
         out_schema = Schema(list(schema.columns) + [Column("conf")])
         rows = []
         for row, conds in merged.items():
-            mass = self._or_conditions(working, conds)[0]
+            mass = self._condition_probability(working, conds)
             rows.append(row + (mass,))
         return WSDQueryResult(kind="rows",
                               relation=_make_relation(out_schema, rows))
 
     # -- condition disjunctions --------------------------------------------------------------
 
-    def _or_conditions(self, working: WorldSetDecomposition,
-                       conditions: Sequence[Condition]) -> tuple[float, bool]:
-        """``(probability, holds-in-every-world)`` of a disjunction.
+    def _condition_probability(self, working: WorldSetDecomposition,
+                               conditions: Sequence[Condition]) -> float:
+        """Exact probability of a disjunction of conditions.
 
-        Only the components restricted by some condition are enumerated
-        jointly; in the common case (every condition a single atom on the
-        same component) no enumeration happens at all.
+        Three tiers, cheapest first:
+
+        1. closed forms — a single conjunction multiplies out; a disjunction
+           of single-atom conditions over independent components is
+           ``1 - prod_c (1 - P(event_c))`` (both linear, no search);
+        2. the d-tree engine (:mod:`repro.wsd.confidence`) — exact and
+           polynomial for hierarchical DNFs, which is what joins over
+           key-repaired relations produce;
+        3. guarded joint enumeration of the touched components — only when
+           the d-tree exceeds its node budget (counted in
+           :attr:`ConfidenceStats.enumeration_fallbacks`), or when the
+           executor was built with ``confidence="enumerate"`` (the
+           benchmark baseline), or as a verification pass under
+           ``confidence="cross-check"``.
         """
         if any(condition.is_true() for condition in conditions):
-            return 1.0, True
-        involved: list[int] = sorted({index for condition in conditions
-                                      for index in condition.component_ids()})
+            return 1.0
+        if not conditions:
+            return 0.0
+        if self.confidence == "enumerate":
+            return self._enumerate_disjunction(working, conditions)[0]
+        closed = self._closed_form(working, conditions)
+        if closed is not None:
+            mass = closed[0]
+        else:
+            mass = self._dtree_probability(working, conditions)
+        if self.confidence == "cross-check":
+            self._cross_check(working, conditions, mass)
+        return mass
+
+    def _conditions_cover(self, working: WorldSetDecomposition,
+                          conditions: Sequence[Condition]) -> bool:
+        """True when the disjunction holds in every world (``certain``)."""
+        if any(condition.is_true() for condition in conditions):
+            return True
+        if not conditions:
+            return False
+        if self.confidence == "enumerate":
+            return self._enumerate_disjunction(working, conditions)[1]
+        closed = self._closed_form(working, conditions, count=False)
+        if closed is not None:
+            return closed[1]
+        engine = self._engine(working)
+        try:
+            return engine.is_tautology(
+                [condition.atoms for condition in conditions])
+        except DTreeBudgetExceededError:
+            self.confidence_stats.enumeration_fallbacks += 1
+            return self._enumerate_disjunction(working, conditions)[1]
+
+    def _closed_form(self, working: WorldSetDecomposition,
+                     conditions: Sequence[Condition],
+                     count: bool = True) -> Optional[tuple[float, bool]]:
+        """``(probability, covers)`` via a linear closed form, if one applies."""
         if len(conditions) == 1:
             mass = 1.0
             for index, allowed in conditions[0].atoms:
                 mass *= self._atom_mass(working.components[index], allowed)
+            if count:
+                self.confidence_stats.closed_form += 1
+            # A stored atom never covers its whole component, so a single
+            # conjunction with atoms holds in some worlds but not all.
             return mass, False
         if all(len(condition.atoms) == 1 for condition in conditions):
             # Closed form: each condition restricts a single component, so
@@ -798,7 +895,52 @@ class WSDExecutor:
                     # disjunction does too (no stored atom is ever full, so
                     # this only triggers after merging).
                     covers = True
+            if count:
+                self.confidence_stats.closed_form += 1
             return (1.0 - miss), covers
+        return None
+
+    def _engine(self, working: WorldSetDecomposition) -> DTreeEngine:
+        """The (memo-carrying) d-tree engine for *working*, cached so every
+        answer row of one query shares subtree results."""
+        key = id(working)
+        entry = self._engines.get(key)
+        if entry is None or entry[0] is not working:
+            entry = (working, DTreeEngine(working.components,
+                                          stats=self.confidence_stats))
+            self._engines[key] = entry
+        return entry[1]
+
+    def _dtree_probability(self, working: WorldSetDecomposition,
+                           conditions: Sequence[Condition]) -> float:
+        engine = self._engine(working)
+        try:
+            return engine.probability(
+                [condition.atoms for condition in conditions])
+        except DTreeBudgetExceededError:
+            self.confidence_stats.enumeration_fallbacks += 1
+            return self._enumerate_disjunction(working, conditions)[0]
+
+    def _cross_check(self, working: WorldSetDecomposition,
+                     conditions: Sequence[Condition], mass: float) -> None:
+        """Verify a d-tree/closed-form answer against joint enumeration."""
+        try:
+            expected = self._enumerate_disjunction(working, conditions)[0]
+        except EnumerationLimitError:
+            return  # too large to verify — exactly the case the d-tree serves
+        if abs(expected - mass) > 1e-9:
+            raise WorldSetError(
+                "confidence cross-check failed: d-tree computed "
+                f"{mass!r}, joint enumeration computed {expected!r}")
+
+    def _enumerate_disjunction(self, working: WorldSetDecomposition,
+                               conditions: Sequence[Condition]
+                               ) -> tuple[float, bool]:
+        """``(probability, holds-in-every-world)`` by guarded enumeration of
+        the joint of all touched components — exponential; kept as the
+        baseline, budget fallback and cross-check oracle."""
+        involved: list[int] = sorted({index for condition in conditions
+                                      for index in condition.component_ids()})
         joint = 1
         for index in involved:
             joint *= len(working.components[index])
@@ -819,16 +961,17 @@ class WSDExecutor:
                    allowed: frozenset[int]) -> float:
         """Probability mass of *allowed* alternatives within one component.
 
-        Weighting is decided per component: a weighted component uses its
-        probabilities, an unweighted one counts uniformly.  The product over
-        components is always a normalised distribution, which matches the
-        explicit backend's (normalised) world weights even when weighted and
+        Weighting is decided per component via
+        :meth:`Component.effective_probabilities`: a weighted component uses
+        its probabilities, an unweighted one counts uniformly, and a
+        partially-weighted one gives the ``probability=None`` alternatives a
+        uniform share of the residual mass.  The product over components is
+        always a normalised distribution, which matches the explicit
+        backend's (normalised) world weights even when weighted and
         unweighted uncertainty mix in one decomposition.
         """
-        if component.is_probabilistic():
-            return sum(component.alternatives[i].probability or 0.0
-                       for i in allowed)
-        return len(allowed) / len(component.alternatives)
+        masses = component.effective_probabilities()
+        return sum(masses[i] for i in allowed)
 
     def _joint_weight(self, working: WorldSetDecomposition,
                       involved: Sequence[int],
@@ -836,10 +979,7 @@ class WSDExecutor:
         weight = 1.0
         for index, alt_index in zip(involved, combo):
             component = working.components[index]
-            if component.is_probabilistic():
-                weight *= component.alternatives[alt_index].probability or 0.0
-            else:
-                weight *= 1.0 / len(component.alternatives)
+            weight *= component.effective_probabilities()[alt_index]
         return weight
 
     # -- component-joint evaluation ------------------------------------------------------------
@@ -993,21 +1133,117 @@ class WSDExecutor:
 
     def _apply_assert(self, working: WorldSetDecomposition,
                       condition: Expression) -> WorldSetDecomposition:
-        """Condition the decomposition on a world-level boolean and re-normalise."""
-        fields, predicate = self._world_event(working, condition)
-        touched = [component for component in working.components
-                   if set(component.fields) & set(fields)]
-        joint = 1
-        for component in touched:
-            joint *= len(component)
-        ensure_enumerable(joint, self.limit, operation="condition on")
-        try:
-            conditioned = working.condition(predicate, fields)
-        except EnumerationLimitError:
-            raise
-        except DecompositionError as exc:
-            raise WorldSetError("assert dropped every world") from exc
-        return normalize(conditioned)
+        """Condition the decomposition on a world-level boolean and re-normalise.
+
+        The event is compiled into independent conjunctive *factors* wherever
+        possible (``assert A and B`` splits; ``assert not exists(...)`` —
+        a negated DNF — splits per connected group of candidate template
+        tuples).  Each factor is conditioned separately, so only the
+        components one factor actually correlates are ever merged and the
+        enumeration guard applies per factor, never to the joint of
+        everything the whole assert touches.
+        """
+        for fields, predicate in self._world_event_factors(working, condition):
+            touched = [component for component in working.components
+                       if set(component.fields) & set(fields)]
+            joint = 1
+            for component in touched:
+                joint *= len(component)
+            ensure_enumerable(joint, self.limit, operation="condition on")
+            try:
+                conditioned = working.condition(predicate, fields)
+            except DecompositionError as exc:
+                raise WorldSetError("assert dropped every world") from exc
+            # Re-normalise between factors so a merge one factor caused does
+            # not inflate the joint the next factor has to touch.
+            working = normalize(conditioned)
+        return working
+
+    def _world_event_factors(self, working: WorldSetDecomposition,
+                             expression: Expression
+                             ) -> list[tuple[set[Field],
+                                             Callable[[dict[Field, Any]], bool]]]:
+        """Compile *expression* into conjunctive event factors.
+
+        The conjunction of the returned ``(fields, predicate)`` factors is
+        equivalent to the asserted condition; factors over disjoint field
+        sets condition independent parts of the decomposition.
+        """
+        factors = self._compile_event_factors(working, expression)
+        if factors is not None:
+            return factors
+        return [self._world_event(working, expression)]
+
+    def _compile_event_factors(self, working: WorldSetDecomposition,
+                               expression: Expression
+                               ) -> Optional[list[tuple[set[Field],
+                                                        Callable[[dict[Field, Any]], bool]]]]:
+        from ..relational.expressions import BinaryOp, UnaryOp
+
+        if isinstance(expression, BinaryOp) and \
+                expression.operator.lower() == "and":
+            left = self._compile_event_factors(working, expression.left)
+            if left is None:
+                return None
+            right = self._compile_event_factors(working, expression.right)
+            if right is None:
+                return None
+            return left + right
+        negated_exists: Optional[ExistsSubquery] = None
+        if isinstance(expression, ExistsSubquery) and expression.negated:
+            negated_exists = expression
+        elif isinstance(expression, UnaryOp) \
+                and expression.operator.lower() == "not" \
+                and isinstance(expression.operand, ExistsSubquery) \
+                and not expression.operand.negated:
+            negated_exists = expression.operand
+        if negated_exists is not None:
+            factors = self._not_exists_factors(working, negated_exists)
+            if factors is not None:
+                return factors
+        compiled = self._compile_pruned_event(working, expression)
+        if compiled is None:
+            return None
+        return [compiled]
+
+    def _not_exists_factors(self, working: WorldSetDecomposition,
+                            node: ExistsSubquery
+                            ) -> Optional[list[tuple[set[Field],
+                                                     Callable[[dict[Field, Any]], bool]]]]:
+        """``assert not exists(...)`` as one factor per independent group.
+
+        The compiled EXISTS event is a DNF: one clause per candidate template
+        tuple that could produce a matching row.  Its negation is a
+        conjunction of negated clauses, and candidates touching disjoint
+        component sets are independent — so conditioning happens per
+        connected group of candidates, never on the joint of every touched
+        component.
+        """
+        compiled = self._exists_candidates(working, node)
+        if compiled is None:
+            return None
+        candidates, row_matches = compiled
+        if not candidates:
+            # Nothing can match: NOT EXISTS holds in every world.
+            return [(set(), lambda assignment: True)]
+        component_of = self._component_index(working)
+        groups = connected_groups(
+            candidates,
+            lambda candidate: (component_of[f] for f in candidate.fields()))
+        factors = []
+        for group in groups:
+            fields = {f for candidate in group for f in candidate.fields()}
+
+            def predicate(assignment: dict[Field, Any],
+                          group: list[TemplateTuple] = group) -> bool:
+                for candidate in group:
+                    row = candidate.instantiate(assignment)
+                    if row is not None and row_matches(row):
+                        return False
+                return True
+
+            factors.append((fields, predicate))
+        return factors
 
     def _world_event(self, working: WorldSetDecomposition,
                      expression: Expression
@@ -1053,6 +1289,35 @@ class WSDExecutor:
                               node: ExistsSubquery
                               ) -> Optional[tuple[set[Field],
                                                   Callable[[dict[Field, Any]], bool]]]:
+        compiled = self._exists_candidates(working, node)
+        if compiled is None:
+            return None
+        candidates, row_matches = compiled
+        fields = {f for t in candidates for f in t.fields()}
+
+        def predicate(assignment: dict[Field, Any]) -> bool:
+            exists = False
+            for template_tuple in candidates:
+                row = template_tuple.instantiate(assignment)
+                if row is not None and row_matches(row):
+                    exists = True
+                    break
+            return not exists if node.negated else exists
+
+        return fields, predicate
+
+    def _exists_candidates(self, working: WorldSetDecomposition,
+                           node: ExistsSubquery
+                           ) -> Optional[tuple[list[TemplateTuple],
+                                               Callable[[tuple], bool]]]:
+        """The template tuples that could satisfy an EXISTS subquery.
+
+        Returns ``(candidates, row_matches)`` — the candidate tuples whose
+        some grounding satisfies the subquery's WHERE, plus the row-level
+        match test — or ``None`` when the subquery shape is unsupported.
+        The (non-negated) EXISTS event is the DNF "some candidate
+        instantiates to a matching row".
+        """
         query = node.query
         if not isinstance(query, SelectQuery):
             return None
@@ -1096,18 +1361,7 @@ class WSDExecutor:
         for template_tuple, sym in self._ground_by_tuple(working, name):
             if any(row_matches(ground.row) for ground in sym):
                 candidates.append(template_tuple)
-        fields = {f for t in candidates for f in t.fields()}
-
-        def predicate(assignment: dict[Field, Any]) -> bool:
-            exists = False
-            for template_tuple in candidates:
-                row = template_tuple.instantiate(assignment)
-                if row is not None and row_matches(row):
-                    exists = True
-                    break
-            return not exists if node.negated else exists
-
-        return fields, predicate
+        return candidates, row_matches
 
     def _ground_by_tuple(self, working: WorldSetDecomposition, name: str
                          ) -> list[tuple[TemplateTuple, list[SymTuple]]]:

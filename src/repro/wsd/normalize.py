@@ -33,14 +33,17 @@ _TOLERANCE = 1e-9
 
 def _project_distinct(component: Component, fields: Sequence[Field]
                       ) -> dict[tuple, float | None]:
-    """Distinct value combinations of *fields* with their marginal probability."""
+    """Distinct value combinations of *fields* with their marginal probability.
+
+    Masses come from :meth:`Component.effective_probabilities`, so
+    partially-weighted components (``probability=None`` alternatives holding
+    a uniform share of the residual mass) factorise like any other.
+    """
     indexes = [component.field_index(f) for f in fields]
-    uniform = 1.0 / len(component.alternatives)
     marginals: dict[tuple, float | None] = {}
-    for alternative in component.alternatives:
+    for alternative, weight in zip(component.alternatives,
+                                   component.effective_probabilities()):
         key = tuple(alternative.values[i] for i in indexes)
-        weight = (alternative.probability if alternative.probability is not None
-                  else uniform)
         marginals[key] = (marginals.get(key, 0.0) or 0.0) + weight
     if not component.is_probabilistic():
         # Keep the counts for the cardinality check but mark non-probabilistic.
@@ -59,8 +62,8 @@ def _verify_split(component: Component, left: Sequence[Field],
     if len(left_marginal) * len(right_marginal) != len(component.alternatives):
         return False
     seen = set()
-    uniform = 1.0 / len(component.alternatives)
-    for alternative in component.alternatives:
+    for alternative, actual in zip(component.alternatives,
+                                   component.effective_probabilities()):
         left_key = tuple(alternative.values[i] for i in left_indexes)
         right_key = tuple(alternative.values[i] for i in right_indexes)
         if (left_key, right_key) in seen:
@@ -68,7 +71,6 @@ def _verify_split(component: Component, left: Sequence[Field],
         seen.add((left_key, right_key))
         if component.is_probabilistic():
             expected = (left_marginal[left_key] or 0.0) * (right_marginal[right_key] or 0.0)
-            actual = alternative.probability or 0.0
             if abs(expected - actual) > _TOLERANCE:
                 return False
     return True

@@ -48,7 +48,23 @@ class TestComponent:
                       [Alternative((1,), 0.5), Alternative((2,), 0.2)])
         with pytest.raises(ProbabilityError):
             Component([make_field(0)],
-                      [Alternative((1,), 0.5), Alternative((2,))])
+                      [Alternative((1,), -0.5), Alternative((2,), 1.5)])
+        # A partially-weighted component is allowed: the None alternatives
+        # share the residual mass — but the explicit weights must leave some.
+        with pytest.raises(ProbabilityError):
+            Component([make_field(0)],
+                      [Alternative((1,), 0.7), Alternative((2,), 0.7),
+                       Alternative((3,))])
+
+    def test_partially_weighted_residual_mass_is_uniform(self):
+        component = Component([make_field(0)],
+                              [Alternative((1,), 0.5), Alternative((2,)),
+                               Alternative((3,))])
+        assert component.is_probabilistic()
+        assert component.effective_probabilities() == \
+            pytest.approx([0.5, 0.25, 0.25])
+        assert component.marginal(make_field(0)) == \
+            pytest.approx({1: 0.5, 2: 0.25, 3: 0.25})
 
     def test_values_and_marginal(self):
         component = Component([make_field(0)],

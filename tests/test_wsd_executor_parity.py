@@ -76,6 +76,16 @@ QUERY_CORPUS = [
     "select possible B from I order by B desc limit 1;",
     "select possible i1.A, i2.A from I i1, I i2 "
     "where i1.B = i2.B and i1.A <> i2.A;",
+    # Correlated self-joins: conditions conjoin atoms over several key-group
+    # components, so these confidences exercise the d-tree engine (multi-atom
+    # DNFs), not the single-atom closed form.
+    "select conf, i1.A, i2.A from I i1, I i2 "
+    "where i1.B < i2.B and i1.A <> i2.A;",
+    "select conf from I i1, I i2 where i1.B < i2.B and i1.A <> i2.A;",
+    "select conf, i1.A from I i1, I i2, I i3 "
+    "where i1.B < i2.B and i2.B < i3.B;",
+    "select certain i1.A, i2.A from I i1, I i2 "
+    "where i1.B + i2.B > 20 and i1.A <> i2.A;",
 ]
 
 
@@ -166,6 +176,8 @@ def test_backends_agree(setup, query):
         actual = wsd.execute(query)
     assert wsd.backend.stats.fallback == 0, \
         f"query fell back to world materialisation: {query}"
+    assert wsd.backend.confidence_stats.enumeration_fallbacks == 0, \
+        f"confidence fell back to joint enumeration: {query}"
     if expected.is_rows():
         assert actual.is_rows(), f"result kind diverged for: {query}"
         assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
@@ -173,6 +185,21 @@ def test_backends_agree(setup, query):
         assert expected.is_world_rows()
         assert_distributions_equal(wsd_distribution(actual),
                                    explicit_distribution(expected), query)
+
+
+@pytest.mark.parametrize("setup", [WEIGHTED_SETUP, UNWEIGHTED_SETUP],
+                         ids=["weighted", "unweighted"])
+def test_corpus_confidences_survive_cross_check(setup):
+    """Every corpus query re-runs under ``confidence_engine="cross-check"``:
+    the d-tree answer is verified in-engine against guarded joint enumeration
+    (a WorldSetError here means the engines diverged)."""
+    wsd = MayBMS(figure1_database(), backend="wsd")
+    wsd.backend.confidence_engine = "cross-check"
+    for statement in setup:
+        wsd.execute(statement)
+    for query in QUERY_CORPUS:
+        wsd.execute(query)
+    assert wsd.backend.confidence_stats.enumeration_fallbacks == 0
 
 
 class TestSessionStateParity:
