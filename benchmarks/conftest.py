@@ -17,6 +17,7 @@ correctness assertions are fully exercised).
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -28,6 +29,34 @@ from repro.workloads import DirtyRelationSpec
 #: True when the benchmarks run as a CI smoke test with tiny sweeps.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in {
     "1", "true", "yes", "on"}
+
+#: Where machine-readable BENCH_*.json result files land (CI uploads them as
+#: artifacts).  Override with REPRO_BENCH_RESULTS.
+BENCH_RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_RESULTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"))
+
+
+def write_bench_json(name: str, headers: list[str],
+                     rows: list[tuple], **extra) -> str:
+    """Write one benchmark series as ``<results>/<name>.json``.
+
+    The payload carries the printed table (``headers`` + ``series`` rows as
+    dicts), the smoke flag (so consumers can discard meaningless perf
+    numbers), and any keyword extras (timings, counters).  Returns the path.
+    """
+    os.makedirs(BENCH_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(BENCH_RESULTS_DIR, f"{name}.json")
+    payload = {
+        "bench": name,
+        "smoke": BENCH_SMOKE,
+        "headers": headers,
+        "series": [dict(zip(headers, row)) for row in rows],
+    }
+    payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
 
 
 def scalability_sweep_parameters() -> dict:
@@ -67,6 +96,27 @@ def scale2_correlated_parameters() -> dict:
                 "joint_limit": 16}
     return {"groups": (4, 8, 12, 16, 20, 24), "options": 2,
             "explicit_limit": 256, "joint_limit": None}
+
+
+def scale3_aggregate_parameters() -> dict:
+    """Parameters for the SCALE-3 decomposed-aggregate sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation, each
+    one independent component of the repair, so the world count is
+    ``options ** groups``).  ``explicit_limit`` bounds the points the
+    explicit backend materialises; the joint-enumeration baseline
+    (``aggregate_engine="enumerate"``) runs under the executor's default
+    enumeration guard and provably refuses from ``~2^20`` worlds — the sweep
+    jumps from a joint-feasible point straight past that cliff.
+    ``payload_domain`` keeps aggregate values in a small range so the
+    distinct partial sums stay pseudo-polynomial (the regime the
+    Minkowski-sum DP exploits).
+    """
+    if BENCH_SMOKE:
+        return {"groups": (3, 6), "options": 2, "explicit_limit": 16,
+                "joint_limit": 16, "payload_domain": 10}
+    return {"groups": (8, 12, 20, 24), "options": 2, "explicit_limit": 256,
+            "joint_limit": None, "payload_domain": 10}
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

@@ -16,7 +16,7 @@ from repro.workloads import DirtyRelationSpec, dirty_key_relation
 from repro.worldset import WorldSet, repair_by_key
 from repro.wsd import from_worldset, is_normalized, normalize
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 SPECS = [DirtyRelationSpec(groups=g, options=2, seed=11) for g in (2, 4, 6, 8)]
 
@@ -55,6 +55,9 @@ def test_abl1_normalisation_reduces_storage(benchmark):
     print_table("ABL-1: storage with and without normalisation",
                 ["point", "worlds", "unnormalised cells", "normalised cells",
                  "components"], rows)
+    write_bench_json("BENCH_ABL1",
+                     ["point", "worlds", "unnormalised cells",
+                      "normalised cells", "components"], rows)
 
 
 def test_abl1_confidence_cost_unnormalised_vs_normalised(benchmark):

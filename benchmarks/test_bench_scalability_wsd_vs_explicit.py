@@ -28,7 +28,12 @@ from repro.workloads import dirty_key_relation, scalability_sweep
 from repro.worldset import WorldSet, repair_by_key
 from repro.wsd import from_key_repair
 
-from conftest import BENCH_SMOKE, print_table, scalability_sweep_parameters
+from conftest import (
+    BENCH_SMOKE,
+    print_table,
+    scalability_sweep_parameters,
+    write_bench_json,
+)
 
 SWEEP = scalability_sweep(**scalability_sweep_parameters())
 
@@ -74,6 +79,9 @@ def test_scale1_wsd_storage_stays_linear(benchmark):
             "explicit representation must dominate WSD storage on the sweep")
     print_table("SCALE-1: worlds vs. representation size",
                 ["point", "worlds", "explicit tuples", "WSD cells"], rows)
+    write_bench_json("BENCH_SCALE1_storage",
+                     ["point", "worlds", "explicit tuples", "WSD cells"],
+                     rows)
 
 
 def test_scale1_wsd_construction_scales_with_input_not_worlds(benchmark):
@@ -155,3 +163,6 @@ def test_scale1_query_latency_wsd_native_vs_explicit(benchmark):
     print_table("SCALE-1: query latency, explicit vs. WSD-native (ms)",
                 ["point", "worlds", "explicit conf", "WSD conf",
                  "WSD possible"], rows)
+    write_bench_json("BENCH_SCALE1_latency",
+                     ["point", "worlds", "explicit conf", "WSD conf",
+                      "WSD possible"], rows)

@@ -36,7 +36,12 @@ from repro.relational.schema import Column, Schema
 from repro.relational.types import SqlType
 from repro.workloads import DirtyRelationSpec, dirty_key_relation
 
-from conftest import BENCH_SMOKE, print_table, scale2_correlated_parameters
+from conftest import (
+    BENCH_SMOKE,
+    print_table,
+    scale2_correlated_parameters,
+    write_bench_json,
+)
 
 PARAMS = scale2_correlated_parameters()
 
@@ -131,6 +136,9 @@ def test_scale2_correlated_conf_dtree_vs_enumeration_vs_explicit(benchmark):
     print_table("BENCH_SCALE2: correlated conf latency (ms)",
                 ["point", "worlds", "explicit", "joint enumeration",
                  "d-tree", "conf"], rows)
+    write_bench_json("BENCH_SCALE2",
+                     ["point", "worlds", "explicit", "joint enumeration",
+                      "d-tree", "conf"], rows)
 
     # One stable timing for the benchmark harness: the d-tree at the largest
     # (joint-enumeration-infeasible) point.

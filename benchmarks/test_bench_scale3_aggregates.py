@@ -1,0 +1,229 @@
+"""BENCH_SCALE3 — decomposed aggregates: convolution vs. joint enumeration vs. explicit.
+
+SCALE-1/2 made selection and confidence scale with the representation; this
+series does the same for the last exponential query class: **aggregates**.
+A repair-key decomposition with ``2^24`` worlds is swept through a
+SUM / COUNT / AVG / MIN / MAX series (``possible`` / ``conf`` / subquery
+decorated), answered by three engines:
+
+* **explicit** — materialise every world (only at the smallest point);
+* **joint enumeration** — the pre-engine component-joint strategy
+  (``aggregate_engine="enumerate"``): exponential in the touched
+  components, it raises :class:`~repro.errors.EnumerationLimitError` from
+  ``~2^20`` worlds under the default guard;
+* **convolution** — the decomposed aggregate engine
+  (:mod:`repro.wsd.aggregate`): per-cluster local distributions combined by
+  sparse convolution, pseudo-polynomial in the distinct partial sums.
+
+All engines must agree exactly wherever they can answer at all, the
+convolution engine must never fall back to joint enumeration
+(``stats.aggregate_fallbacks == 0`` — asserted here and relied on by the CI
+bench-smoke job), and at the largest (2^24-world) point every query of the
+series must answer in single-digit milliseconds.  The series is also written
+as a machine-readable ``BENCH_SCALE3.json`` CI artifact.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import EnumerationLimitError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import SqlType
+
+from conftest import (
+    BENCH_SMOKE,
+    print_table,
+    scale3_aggregate_parameters,
+    write_bench_json,
+)
+
+PARAMS = scale3_aggregate_parameters()
+
+REPAIR_STATEMENT = ("create table I as "
+                    "select K, B from Dirty repair by key K weight W;")
+
+#: The aggregate series: every query class the acceptance bar names.
+AGGREGATE_QUERIES = [
+    ("possible sum", "select possible sum(B) from I;"),
+    ("conf count", "select conf, count(*) from I where B > 4;"),
+    ("possible avg", "select possible avg(B) from I;"),
+    ("conf min", "select conf, min(B) from I;"),
+    ("possible max", "select possible max(B) from I;"),
+    ("conf subquery sum",
+     "select conf from I where 80 > (select sum(B) from I);"),
+]
+
+
+def _aggregate_relation(groups: int) -> Relation:
+    """A dirty relation whose payload lives in a small domain, so the number
+    of distinct partial sums — the convolution's state count — stays
+    pseudo-polynomial while the world count explodes."""
+    rng = random.Random(7)
+    rows = []
+    for key in range(groups):
+        for _ in range(PARAMS["options"]):
+            rows.append((key, rng.randrange(PARAMS["payload_domain"]),
+                         rng.randint(1, 5)))
+    schema = Schema([Column("K", SqlType.INTEGER),
+                     Column("B", SqlType.INTEGER),
+                     Column("W", SqlType.INTEGER)])
+    return Relation(schema, rows, name="Dirty")
+
+
+def _wsd_session(relation: Relation, aggregates: str) -> MayBMS:
+    db = MayBMS({"Dirty": relation}, backend="wsd")
+    db.backend.aggregate_engine = aggregates
+    if PARAMS["joint_limit"] is not None and aggregates == "enumerate":
+        db.backend.enumeration_limit = PARAMS["joint_limit"]
+    db.execute(REPAIR_STATEMENT)
+    return db
+
+
+def _timed_best(callable_, repeats: int = 3):
+    """(result, best-of-N milliseconds) — best-of damps scheduler noise."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        elapsed = (time.perf_counter() - start) * 1000.0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _canonical(result):
+    return sorted(
+        (tuple(round(value, 9) if isinstance(value, float) else value
+               for value in row)
+         for row in result.rows()),
+        key=repr)
+
+
+def test_scale3_aggregates_convolution_vs_enumeration_vs_explicit(benchmark):
+    rows = []
+    infeasible_joint_points = 0
+    for groups in PARAMS["groups"]:
+        relation = _aggregate_relation(groups)
+        world_count = PARAMS["options"] ** groups
+
+        convolution_db = _wsd_session(relation, "convolution")
+        answers = {}
+        convolution_ms = {}
+        for label, query in AGGREGATE_QUERIES:
+            result, elapsed = _timed_best(
+                lambda query=query: convolution_db.execute(query))
+            answers[label] = _canonical(result)
+            convolution_ms[label] = elapsed
+        stats = convolution_db.backend.stats
+        # The headline guarantee: the whole series is answered by the
+        # convolution engine — no component-joint enumeration, no counted
+        # fallback, no world materialisation.
+        assert stats.aggregate >= len(AGGREGATE_QUERIES)
+        assert stats.component_joint == 0
+        assert stats.aggregate_fallbacks == 0
+        assert stats.fallback == 0
+
+        enum_db = _wsd_session(relation, "enumerate")
+        joint_limit = enum_db.backend.enumeration_limit
+        if joint_limit is None or world_count <= joint_limit:
+            for label, query in AGGREGATE_QUERIES:
+                enum_result, enum_ms = _timed_best(
+                    lambda query=query: enum_db.execute(query), repeats=1)
+                assert _canonical(enum_result) == answers[label], \
+                    f"{label} diverged at {groups} groups"
+            joint_cell = round(enum_ms, 2)
+        else:
+            with pytest.raises(EnumerationLimitError):
+                enum_db.execute(AGGREGATE_QUERIES[0][1])
+            infeasible_joint_points += 1
+            joint_cell = "EnumerationLimitError"
+
+        if world_count <= PARAMS["explicit_limit"]:
+            explicit_db = MayBMS({"Dirty": relation})
+            explicit_db.execute(REPAIR_STATEMENT)
+            for label, query in AGGREGATE_QUERIES:
+                explicit_result, explicit_ms = _timed_best(
+                    lambda query=query: explicit_db.execute(query), repeats=1)
+                assert _canonical(explicit_result) == answers[label], \
+                    f"{label} diverged from explicit at {groups} groups"
+            explicit_cell = round(explicit_ms, 2)
+        else:
+            explicit_cell = "infeasible"
+
+        slowest = max(convolution_ms.values())
+        rows.append((f"G{groups}", world_count, explicit_cell, joint_cell,
+                     round(slowest, 2),
+                     round(convolution_ms["possible sum"], 2),
+                     round(convolution_ms["possible avg"], 2)))
+    assert infeasible_joint_points > 0, (
+        "the sweep must include a point the joint-enumeration path refuses")
+    if not BENCH_SMOKE:
+        # Acceptance bar: at the largest (2^24 worlds) point — infeasible
+        # for both baselines — every query of the SUM/COUNT/AVG/MIN/MAX
+        # series answers exactly in single-digit milliseconds.
+        assert rows[-1][1] == 2 ** 24
+        assert rows[-1][2] == "infeasible"
+        assert rows[-1][3] == "EnumerationLimitError"
+        assert rows[-1][4] < 10.0, (
+            f"slowest aggregate took {rows[-1][4]}ms at the 2^24 point")
+    headers = ["point", "worlds", "explicit (last q)", "joint enumeration",
+               "convolution worst", "possible sum", "possible avg"]
+    print_table("BENCH_SCALE3: decomposed aggregate latency (ms)",
+                headers, rows)
+    write_bench_json(
+        "BENCH_SCALE3", headers, rows,
+        queries=[query for _, query in AGGREGATE_QUERIES],
+        convolution_ms_largest_point={
+            label: round(value, 4) for label, value in convolution_ms.items()})
+
+    # One stable timing for the benchmark harness: the full series at the
+    # largest (joint-enumeration-infeasible) point.
+    relation = _aggregate_relation(PARAMS["groups"][-1])
+    db = _wsd_session(relation, "convolution")
+
+    def run_series():
+        return [db.execute(query) for _, query in AGGREGATE_QUERIES]
+
+    results = benchmark(run_series)
+    assert all(len(result.rows()) >= 1 for result in results)
+    assert db.backend.stats.aggregate_fallbacks == 0
+
+
+def test_scale3_group_by_aggregates_stay_on_the_representation(benchmark):
+    """GROUP BY aggregates (one answer row per key group) also stay on the
+    decomposition: per-group distributions come out of the same convolution
+    pass, with per-row confidences matching the explicit backend at a small
+    point."""
+    small = _aggregate_relation(PARAMS["groups"][0])
+    query = ("select conf, K, sum(B) from I where B > 2 group by K "
+             "having count(*) >= 1;")
+
+    explicit_db = MayBMS({"Dirty": small})
+    explicit_db.execute(REPAIR_STATEMENT)
+    expected = _canonical(explicit_db.execute(query))
+
+    small_db = _wsd_session(small, "convolution")
+    assert _canonical(small_db.execute(query)) == expected
+    assert small_db.backend.stats.component_joint == 0
+
+    large = _aggregate_relation(PARAMS["groups"][-1])
+    large_db = _wsd_session(large, "convolution")
+    result = benchmark(lambda: large_db.execute(query))
+    # One row per (group, possible sum) pair; per-group confidences are
+    # probabilities.
+    assert len(result.rows()) >= 1
+    per_group: dict = {}
+    for row in result.rows():
+        per_group[row[0]] = per_group.get(row[0], 0.0) + row[-1]
+    assert all(mass <= 1.0 + 1e-9 for mass in per_group.values())
+    assert large_db.backend.stats.component_joint == 0
+    assert large_db.backend.stats.aggregate_fallbacks == 0
+    print_table("BENCH_SCALE3: per-group conf sum (first rows)",
+                ["K", "sum", "conf"],
+                [tuple(row) for row in result.rows()[:4]])

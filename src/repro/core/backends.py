@@ -57,6 +57,7 @@ from ..wsd.decomposition import (
     WorldSetDecomposition,
 )
 from ..wsd.execute import (
+    AggregateStats,
     ConfidenceStats,
     WSDExecutor,
     WsdExecutionStats,
@@ -468,7 +469,8 @@ class WsdBackend(ExecutionBackend):
 
     def __init__(self, catalog: Catalog | dict[str, Relation] | None = None,
                  enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
-                 confidence_engine: str = "dtree") -> None:
+                 confidence_engine: str = "dtree",
+                 aggregate_engine: str = "convolution") -> None:
         template = Template()
         if catalog is not None:
             if isinstance(catalog, dict):
@@ -484,12 +486,24 @@ class WsdBackend(ExecutionBackend):
         #: joint-enumeration baseline) or ``"cross-check"`` (d-tree verified
         #: against enumeration wherever feasible).
         self.confidence_engine = confidence_engine
+        #: How aggregate queries are evaluated: ``"convolution"`` (the
+        #: decomposed aggregate engine, default) or ``"enumerate"`` (the
+        #: guarded component-joint enumeration, kept as the benchmark
+        #: baseline).
+        self.aggregate_engine = aggregate_engine
         #: Accumulated per-strategy counters across all executed statements.
         self.stats = WsdExecutionStats()
         #: Accumulated confidence-computation counters (closed forms, d-tree
         #: rule firings, memo hits and — crucially for CI — enumeration
         #: fallbacks) across all executed statements.
         self.confidence_stats = ConfidenceStats()
+        #: Accumulated decomposed-aggregate counters (queries, clusters,
+        #: convolutions, peak state count) across all executed statements.
+        self.aggregate_stats = AggregateStats()
+        #: Memoised symbolic groundings shared across statements, keyed on
+        #: (decomposition generation, relation name); see
+        #: :meth:`repro.wsd.execute.WSDExecutor._ground`.
+        self._ground_cache: dict = {}
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -509,6 +523,7 @@ class WsdBackend(ExecutionBackend):
         if self._has_relation(table_name):
             raise DuplicateRelationError(table_name)
         add_certain_relation(self.decomposition.template, relation, table_name)
+        self.decomposition.bump_generation()
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         rows = [tuple(row) for row in rows]
@@ -593,7 +608,9 @@ class WsdBackend(ExecutionBackend):
     def _executor(self) -> WSDExecutor:
         return WSDExecutor(self.decomposition, self.views,
                            enumeration_limit=self.enumeration_limit,
-                           confidence=self.confidence_engine)
+                           confidence=self.confidence_engine,
+                           aggregates=self.aggregate_engine,
+                           ground_cache=self._ground_cache)
 
     def _execute_query(self, query: Query) -> StatementResult:
         executor = self._executor()
@@ -602,6 +619,7 @@ class WsdBackend(ExecutionBackend):
         finally:
             self.stats.merge(executor.stats)
             self.confidence_stats.merge(executor.confidence_stats)
+            self.aggregate_stats.merge(executor.aggregate_stats)
         if result.kind == "rows":
             return StatementResult(kind="rows", relation=result.relation)
         if result.kind == "wsd":
@@ -634,6 +652,7 @@ class WsdBackend(ExecutionBackend):
         finally:
             self.stats.merge(executor.stats)
             self.confidence_stats.merge(executor.confidence_stats)
+            self.aggregate_stats.merge(executor.aggregate_stats)
         return StatementResult(
             kind="command",
             message=(f"created table {statement.name} "
@@ -723,6 +742,7 @@ class WsdBackend(ExecutionBackend):
         template = self.decomposition.template
         for row in rows:
             template.add_tuple(canonical, row)
+        self.decomposition.bump_generation()
         return len(rows)
 
     def _execute_update(self, statement: Update) -> StatementResult:

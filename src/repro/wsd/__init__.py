@@ -1,5 +1,12 @@
 """World-set decompositions: the compact representation of large world-sets."""
 
+from .aggregate import (
+    DEFAULT_STATE_BUDGET,
+    AggregateBudgetExceededError,
+    AggregateStats,
+    DecomposedAggregator,
+    analyse_aggregate_query,
+)
 from .component import Alternative, Component
 from .confidence import (
     DEFAULT_NODE_BUDGET,
@@ -35,12 +42,16 @@ from .fields import EXISTS_ATTRIBUTE, Field
 from .normalize import factorize_component, is_normalized, normalize
 
 __all__ = [
+    "AggregateBudgetExceededError",
+    "AggregateStats",
     "Alternative",
     "Component",
     "Condition",
     "ConfidenceStats",
     "DEFAULT_ENUMERATION_LIMIT",
     "DEFAULT_NODE_BUDGET",
+    "DEFAULT_STATE_BUDGET",
+    "DecomposedAggregator",
     "DTreeBudgetExceededError",
     "DTreeEngine",
     "EXISTS_ATTRIBUTE",
@@ -54,6 +65,7 @@ __all__ = [
     "WorldSetDecomposition",
     "WsdExecutionStats",
     "add_certain_relation",
+    "analyse_aggregate_query",
     "ensure_enumerable",
     "factorize_component",
     "from_choice_of",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field as dataclass_field
-from itertools import product
+from itertools import count as _counter, product
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..errors import DecompositionError, EnumerationLimitError
@@ -59,21 +59,33 @@ def ensure_enumerable(world_count: int, limit: int | None,
         raise EnumerationLimitError(world_count, limit, operation=operation)
 
 
-@dataclass
+@dataclass(slots=True)
 class TemplateTuple:
-    """One template tuple: constants and field placeholders, plus presence."""
+    """One template tuple: constants and field placeholders, plus presence.
+
+    Treated as immutable after construction: :meth:`fields` is computed once
+    and cached, because groundings and component-joint sweeps call it per
+    tuple per query.  The class is slotted — template tuples dominate the
+    storage of large decompositions.
+    """
 
     relation: str
     tuple_id: int
     cells: tuple[Any, ...]
     presence: Optional[Field] = None
+    _fields: Optional[tuple[Field, ...]] = dataclass_field(
+        default=None, init=False, repr=False, compare=False)
 
-    def fields(self) -> list[Field]:
+    def fields(self) -> tuple[Field, ...]:
         """All fields referenced by this template tuple (cells + presence)."""
-        found = [cell for cell in self.cells if isinstance(cell, Field)]
-        if self.presence is not None:
-            found.append(self.presence)
-        return found
+        cached = self._fields
+        if cached is None:
+            found = [cell for cell in self.cells if isinstance(cell, Field)]
+            if self.presence is not None:
+                found.append(self.presence)
+            cached = tuple(found)
+            self._fields = cached
+        return cached
 
     def instantiate(self, assignment: dict[Field, Any]) -> Optional[tuple]:
         """Return the concrete tuple under *assignment*, or None when absent."""
@@ -90,7 +102,7 @@ class TemplateTuple:
         return tuple(values)
 
 
-@dataclass
+@dataclass(slots=True)
 class Template:
     """The template part of a WSD: schemas plus template tuples per relation."""
 
@@ -129,6 +141,10 @@ class Template:
                    if not isinstance(cell, Field))
 
 
+#: Monotonic source of decomposition generations (see ``generation`` below).
+_GENERATIONS = _counter(1)
+
+
 class WorldSetDecomposition:
     """A template plus independent components: the compact world-set."""
 
@@ -136,7 +152,17 @@ class WorldSetDecomposition:
                  components: Iterable[Component] = ()) -> None:
         self.template = template
         self.components: list[Component] = list(components)
+        #: Cache key for derived per-state artefacts (symbolic groundings):
+        #: unique per constructed decomposition, so any derivation — install,
+        #: ``assert``, decorations, normalisation — invalidates implicitly.
+        #: In-place template mutation (backend DML) calls
+        #: :meth:`bump_generation` explicitly.
+        self.generation = next(_GENERATIONS)
         self._validate()
+
+    def bump_generation(self) -> None:
+        """Invalidate generation-keyed caches after in-place mutation."""
+        self.generation = next(_GENERATIONS)
 
     # -- invariants ----------------------------------------------------------------------
 

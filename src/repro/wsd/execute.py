@@ -49,6 +49,7 @@ from ..errors import (
     AnalysisError,
     DecompositionError,
     EnumerationLimitError,
+    UnknownColumnError,
     UnknownRelationError,
     UnsupportedFeatureError,
     WorldSetError,
@@ -76,6 +77,15 @@ from ..sqlparser.ast_nodes import (
     TableRef,
 )
 from ..worldset.world import World
+from .aggregate import (
+    AggregateBudgetExceededError,
+    AggregatePlan,
+    AggregateStats,
+    Contribution,
+    DecomposedAggregator,
+    analyse_aggregate_query,
+    _ExistsSpec,
+)
 from .component import Alternative, Component
 from .confidence import (
     ConfidenceStats,
@@ -95,6 +105,7 @@ from .fields import EXISTS_ATTRIBUTE, Field
 from .normalize import normalize
 
 __all__ = [
+    "AggregateStats",
     "Condition",
     "ConfidenceStats",
     "SymTuple",
@@ -218,17 +229,34 @@ class SymbolicRelation:
 
 @dataclass
 class WsdExecutionStats:
-    """How many queries each strategy answered (fallbacks are flagged here)."""
+    """How many queries each strategy answered (fallbacks are flagged here).
+
+    ``aggregate`` counts queries answered by the decomposed (convolution)
+    aggregate engine; ``aggregate_fallbacks`` counts aggregate-shaped queries
+    whose state space exceeded the engine's budget and dropped to the guarded
+    component-joint enumeration — CI asserts this stays zero on factorising
+    workloads.  ``ground_cache_hits`` / ``ground_cache_misses`` account the
+    memoised symbolic grounding (per relation, keyed on the decomposition
+    generation).
+    """
 
     symbolic: int = 0
+    aggregate: int = 0
     component_joint: int = 0
     fallback: int = 0
+    aggregate_fallbacks: int = 0
+    ground_cache_hits: int = 0
+    ground_cache_misses: int = 0
 
     def merge(self, other: "WsdExecutionStats") -> None:
         """Accumulate *other* into this counter set."""
         self.symbolic += other.symbolic
+        self.aggregate += other.aggregate
         self.component_joint += other.component_joint
         self.fallback += other.fallback
+        self.aggregate_fallbacks += other.aggregate_fallbacks
+        self.ground_cache_hits += other.ground_cache_hits
+        self.ground_cache_misses += other.ground_cache_misses
 
 
 @dataclass
@@ -335,11 +363,17 @@ class WSDExecutor:
     def __init__(self, decomposition: WorldSetDecomposition,
                  views: dict[str, Query] | None = None,
                  enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
-                 confidence: str = "dtree") -> None:
+                 confidence: str = "dtree",
+                 aggregates: str = "convolution",
+                 ground_cache: dict | None = None) -> None:
         if confidence not in ("dtree", "enumerate", "cross-check"):
             raise AnalysisError(
                 f"unknown confidence mode {confidence!r} "
                 "(expected 'dtree', 'enumerate' or 'cross-check')")
+        if aggregates not in ("convolution", "enumerate"):
+            raise AnalysisError(
+                f"unknown aggregate mode {aggregates!r} "
+                "(expected 'convolution' or 'enumerate')")
         self.base = decomposition
         self.views: dict[str, Query] = {}
         if views:
@@ -353,7 +387,17 @@ class WSDExecutor:
         #: against enumeration wherever enumeration is feasible).
         self.confidence = confidence
         self.confidence_stats = ConfidenceStats()
+        #: How aggregates are evaluated: ``"convolution"`` (the decomposed
+        #: aggregate engine, default) or ``"enumerate"`` (the pre-engine
+        #: guarded component-joint enumeration, kept as a benchmark baseline).
+        self.aggregates = aggregates
+        self.aggregate_stats = AggregateStats()
         self._engines: dict[int, tuple[WorldSetDecomposition, DTreeEngine]] = {}
+        #: Memoised symbolic groundings keyed on (decomposition generation,
+        #: relation name); shareable across executors via the constructor so
+        #: repeated queries over unchanged tables skip re-grounding.
+        self._ground_cache: dict = (ground_cache if ground_cache is not None
+                                    else {})
         self._transient_counter = 0
 
     # -- public API ---------------------------------------------------------------------
@@ -371,11 +415,22 @@ class WSDExecutor:
             working, items = self._resolve_from(self.base, query.from_clause)
             if query.assert_condition is not None:
                 working = self._apply_assert(working, query.assert_condition)
-            if self._needs_component_joint(query):
-                return self._evaluate_component_joint(working, query, items)
-            return self._evaluate_symbolic(working, query, items)
+            return self._evaluate_world_query(working, query, items)
         except _FallbackNeeded:
             return self._fallback(query)
+
+    def _evaluate_world_query(self, working: WorldSetDecomposition,
+                              query: SelectQuery,
+                              items: list[tuple[str, str]]) -> WSDQueryResult:
+        """Strategy dispatch after FROM resolution and ``assert``: symbolic
+        first, then the decomposed aggregate engine, then the guarded
+        component-joint enumeration."""
+        if not self._needs_component_joint(query):
+            return self._evaluate_symbolic(working, query, items)
+        result = self._maybe_decomposed_aggregate(working, query, items)
+        if result is not None:
+            return result
+        return self._evaluate_component_joint(working, query, items)
 
     def evaluate_for_install(self, name: str,
                              query: Query) -> WorldSetDecomposition:
@@ -401,9 +456,7 @@ class WSDExecutor:
             working = self._apply_assert(working, query.assert_condition)
         if query.conf or query.quantifier is not None:
             stripped = _strip_world_clauses(query, keep_collection=True)
-            result = (self._evaluate_component_joint(working, stripped, items)
-                      if self._needs_component_joint(stripped)
-                      else self._evaluate_symbolic(working, stripped, items))
+            result = self._evaluate_world_query(working, stripped, items)
             assert result.kind == "rows" and result.relation is not None
             entries = [(row, [TRUE_CONDITION]) for row in result.relation.rows]
             return self._install_entries(working, name, result.relation.schema,
@@ -698,11 +751,39 @@ class WSDExecutor:
         expanded into one ground tuple per distinct combination of its
         *local* component alternatives, so the expansion is linear in the
         decomposition's storage size, never in the world count.
+
+        Groundings are memoised per relation, keyed on the decomposition's
+        generation counter (bumped whenever install / ``assert`` /
+        decorations / DML derive a new state), so repeated queries over
+        unchanged tables reuse the expanded tuples; only the alias qualifier
+        is re-applied per reference.  The ground tuples are shared read-only
+        — downstream operators always build new lists.
         """
+        if component_of is not None:
+            # Scratch decompositions (per-tuple grounding) bypass the cache.
+            return SymbolicRelation(
+                working.template.schemas[name].with_qualifier(alias),
+                self._ground_tuples(working, name, component_of))
+        generation = getattr(working, "generation", None)
+        key = (generation, name)
+        cached = self._ground_cache.get(key) if generation is not None else None
+        if cached is None:
+            self.stats.ground_cache_misses += 1
+            cached = self._ground_tuples(working, name,
+                                         self._component_index(working))
+            if generation is not None:
+                if len(self._ground_cache) >= 128:
+                    self._ground_cache.clear()
+                self._ground_cache[key] = cached
+        else:
+            self.stats.ground_cache_hits += 1
+        return SymbolicRelation(
+            working.template.schemas[name].with_qualifier(alias), cached)
+
+    def _ground_tuples(self, working: WorldSetDecomposition, name: str,
+                       component_of: dict[Field, int]) -> list[SymTuple]:
+        """The expanded (condition-annotated) ground tuples of *name*."""
         template = working.template
-        schema = template.schemas[name].with_qualifier(alias)
-        if component_of is None:
-            component_of = self._component_index(working)
         out: list[SymTuple] = []
         for template_tuple in template.relation_tuples(name):
             fields = template_tuple.fields()
@@ -737,7 +818,7 @@ class WSDExecutor:
                     continue
                 out.append(SymTuple(
                     row, Condition(tuple(sorted(atoms, key=lambda kv: kv[0])))))
-        return SymbolicRelation(schema, out)
+        return out
 
     def _filter(self, source: SymbolicRelation,
                 predicate: Expression) -> SymbolicRelation:
@@ -981,6 +1062,228 @@ class WSDExecutor:
             component = working.components[index]
             weight *= component.effective_probabilities()[alt_index]
         return weight
+
+    # -- decomposed aggregates (convolution over components) -----------------------------------
+
+    def _maybe_decomposed_aggregate(self, working: WorldSetDecomposition,
+                                    query: SelectQuery,
+                                    items: list[tuple[str, str]]
+                                    ) -> Optional[WSDQueryResult]:
+        """Try the decomposed aggregate engine; None re-routes the query to
+        the guarded component-joint enumeration.
+
+        Shape mismatches (ORDER BY / LIMIT, non-scalar subqueries, ...) are
+        silent re-routes; budget overruns on genuinely correlated shapes are
+        counted in :attr:`WsdExecutionStats.aggregate_fallbacks`.
+        """
+        if self.aggregates != "convolution":
+            return None
+        plan = analyse_aggregate_query(query)
+        if plan is None:
+            return None
+        try:
+            if plan.kind == "conf_where":
+                return self._aggregate_conf_where(working, query, items, plan)
+            return self._aggregate_select(working, query, items, plan)
+        except AggregateBudgetExceededError:
+            self.stats.aggregate_fallbacks += 1
+            return None
+        except UnknownColumnError:
+            # Correlated references the symbolic grounder cannot resolve in
+            # isolation; the component-joint path evaluates (or rejects)
+            # them with reference semantics.
+            return None
+
+    def _aggregate_select(self, working: WorldSetDecomposition,
+                          query: SelectQuery, items: list[tuple[str, str]],
+                          plan: AggregatePlan) -> WSDQueryResult:
+        """Aggregates / GROUP BY / HAVING via per-cluster convolution."""
+        joined = self._join_sources(working, items, query.where)
+        specs = [_ExistsSpec()] + plan.specs
+        engine = DecomposedAggregator(working.components, specs,
+                                      stats=self.aggregate_stats)
+        contributions: list[Contribution] = []
+        key_order: list[tuple] = []
+        seen_keys: set[tuple] = set()
+        for sym in joined.tuples:
+            context = EvalContext(schema=joined.schema, row=sym.row)
+            key = tuple(expr.evaluate(context) for expr in plan.key_exprs)
+            delta: list[Any] = [True]
+            for call, spec in zip(plan.calls, plan.specs):
+                if call.argument is None or isinstance(call.argument, Star):
+                    value = None
+                else:
+                    value = call.argument.evaluate(context)
+                delta.append(spec.lift(value))
+            contributions.append(Contribution(key, sym.condition, tuple(delta)))
+            if key not in seen_keys:
+                seen_keys.add(key)
+                key_order.append(key)
+        if query.conf or query.quantifier is not None:
+            per_key = engine.key_distributions(contributions)
+            if not plan.key_exprs and () not in per_key:
+                per_key[()] = {engine.identity: 1.0}
+                key_order = [()]
+            result = self._aggregate_collect(query, plan, per_key, key_order)
+        else:
+            joint = engine.answer_distribution(contributions)
+            result = self._aggregate_distribution(plan, joint)
+        self.stats.aggregate += 1
+        self.aggregate_stats.queries += 1
+        return result
+
+    def _aggregate_collect(self, query: SelectQuery, plan: AggregatePlan,
+                           per_key: dict[tuple, dict[tuple, float]],
+                           key_order: list[tuple]) -> WSDQueryResult:
+        """conf / possible / certain read off the per-key distributions."""
+        names = plan.output_names()
+        if query.conf:
+            confidence: dict[tuple, float] = {}
+            order: list[tuple] = []
+            for key in key_order:
+                for state, mass in per_key[key].items():
+                    if not plan.state_included(key, state):
+                        continue
+                    row = plan.output_row(key, state)
+                    if row not in confidence:
+                        confidence[row] = 0.0
+                        order.append(row)
+                    confidence[row] += mass
+            schema = Schema([Column(name) for name in names]
+                            + [Column("conf")])
+            rows = [row + (confidence[row],) for row in order]
+            return WSDQueryResult(kind="rows",
+                                  relation=_make_relation(schema, rows))
+        schema = Schema([Column(name) for name in names])
+        rows: list[tuple] = []
+        if query.quantifier == "possible":
+            seen: set[tuple] = set()
+            for key in key_order:
+                for state in per_key[key]:
+                    if not plan.state_included(key, state):
+                        continue
+                    row = plan.output_row(key, state)
+                    if row not in seen:
+                        seen.add(row)
+                        rows.append(row)
+        elif query.quantifier == "certain":
+            # A row is certain iff its group's answer row is the same in
+            # every world: every state is included and finalises identically.
+            for key in key_order:
+                distribution = per_key[key]
+                if not all(plan.state_included(key, state)
+                           for state in distribution):
+                    continue
+                produced = {plan.output_row(key, state)
+                            for state in distribution}
+                if len(produced) == 1:
+                    rows.append(next(iter(produced)))
+        else:
+            raise AnalysisError(f"unknown quantifier {query.quantifier!r}")
+        return WSDQueryResult(kind="rows",
+                              relation=_make_relation(schema, rows))
+
+    def _aggregate_distribution(self, plan: AggregatePlan,
+                                joint: dict[tuple, float]) -> WSDQueryResult:
+        """Plain aggregate queries: the distribution over whole answers."""
+        schema = Schema([Column(name) for name in plan.output_names()])
+        order_keys: list[tuple] = []
+        grouped: dict[tuple, tuple[float, Relation]] = {}
+        for mapping, mass in joint.items():
+            states = dict(mapping)
+            rows: list[tuple] = []
+            if not plan.key_exprs:
+                state = states.get((), None)
+                if state is None:
+                    state = tuple(spec.identity
+                                  for spec in [_ExistsSpec()] + plan.specs)
+                if plan.state_included((), state):
+                    rows.append(plan.output_row((), state))
+            else:
+                for key, state in mapping:
+                    if plan.state_included(key, state):
+                        rows.append(plan.output_row(key, state))
+            relation = _make_relation(schema, rows)
+            fingerprint = (tuple(schema.names()), relation.fingerprint())
+            if fingerprint not in grouped:
+                order_keys.append(fingerprint)
+                grouped[fingerprint] = (mass, relation)
+            else:
+                total, representative = grouped[fingerprint]
+                grouped[fingerprint] = (total + mass, representative)
+        distribution = [grouped[fingerprint] for fingerprint in order_keys]
+        return WSDQueryResult(kind="distribution", distribution=distribution)
+
+    def _aggregate_conf_where(self, working: WorldSetDecomposition,
+                              query: SelectQuery,
+                              items: list[tuple[str, str]],
+                              plan: AggregatePlan) -> WSDQueryResult:
+        """``SELECT CONF FROM ... WHERE`` comparing scalar aggregate
+        subqueries: the joint (answer-nonempty, aggregate values)
+        distribution is read off one convolution."""
+        sub_items: list[list[tuple[str, str]]] = []
+        for subquery in plan.subqueries:
+            for ref in subquery.query.from_clause:
+                if ref.name.lower() in self.views:
+                    raise UnsupportedFeatureError(
+                        "views cannot be referenced inside a nested query; "
+                        "materialise the view with CREATE TABLE ... AS first")
+            working, resolved = self._resolve_from(working,
+                                                   subquery.query.from_clause)
+            sub_items.append(resolved)
+        specs: list[Any] = [_ExistsSpec()]
+        offsets: list[int] = []
+        for subquery in plan.subqueries:
+            offsets.append(len(specs))
+            specs.extend(subquery.specs)
+        engine = DecomposedAggregator(working.components, specs,
+                                      stats=self.aggregate_stats)
+        identity = list(engine.identity)
+        contributions: list[Contribution] = []
+        joined = self._join_sources(working, items, plan.plain_where)
+        for sym in joined.tuples:
+            delta = list(identity)
+            delta[0] = True
+            contributions.append(Contribution((), sym.condition, tuple(delta)))
+        for index, (subquery, resolved) in enumerate(
+                zip(plan.subqueries, sub_items)):
+            grounded = self._join_sources(working, resolved,
+                                          subquery.query.where)
+            offset = offsets[index]
+            for sym in grounded.tuples:
+                context = EvalContext(schema=grounded.schema, row=sym.row)
+                delta = list(identity)
+                for position, (call, spec) in enumerate(
+                        zip(subquery.calls, subquery.specs)):
+                    if call.argument is None \
+                            or isinstance(call.argument, Star):
+                        value = None
+                    else:
+                        value = call.argument.evaluate(context)
+                    delta[offset + position] = spec.lift(value)
+                contributions.append(
+                    Contribution((), sym.condition, tuple(delta)))
+        distribution = engine.key_distributions(contributions)
+        self.stats.aggregate += 1
+        self.aggregate_stats.queries += 1
+        states = distribution.get((), {engine.identity: 1.0})
+        mass = 0.0
+        for state, weight in states.items():
+            if not state[0]:
+                continue
+            sub_values = []
+            for index, subquery in enumerate(plan.subqueries):
+                offset = offsets[index]
+                finalized = [spec.finalize(state[offset + position])
+                             for position, spec
+                             in enumerate(subquery.specs)]
+                sub_values.append(subquery.slotted_item.evaluate(finalized))
+            if all(predicate.evaluate((), (), sub_values) is True
+                   for predicate in plan.world_predicates):
+                mass += weight
+        return WSDQueryResult(
+            kind="rows",
+            relation=_make_relation(Schema([Column("conf")]), [(mass,)]))
 
     # -- component-joint evaluation ------------------------------------------------------------
 

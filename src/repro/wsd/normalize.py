@@ -76,14 +76,48 @@ def _verify_split(component: Component, left: Sequence[Field],
     return True
 
 
-def _pairwise_dependent(component: Component, first: Field, second: Field) -> bool:
-    """True when *first* and *second* are not independent within the component."""
-    return not _verify_split_pair(component, first, second)
+def _pairwise_dependence(component: Component) -> list[list[bool]]:
+    """The field-pair dependence matrix, computed in a single pass.
 
-
-def _verify_split_pair(component: Component, first: Field, second: Field) -> bool:
-    projected = component.project([first, second])
-    return _verify_split(projected, [first], [second])
+    Equivalent to projecting the component onto every field pair and
+    verifying the two-way factorisation (the previous per-pair
+    ``_verify_split_pair``), but hashed per-field marginals and pairwise
+    joint-count maps are accumulated in one sweep over the alternatives, so
+    the cost is one pass instead of one projection per pair per growth step.
+    A pair is independent iff its joint support is the full product of the
+    per-field supports *and* every joint mass factorises into the marginals
+    (for unweighted components the effective masses are uniform, which makes
+    the mass check exactly the count check the projection-based code did).
+    """
+    arity = component.arity()
+    masses = component.effective_probabilities()
+    marginals: list[dict] = [{} for _ in range(arity)]
+    joints: dict[tuple[int, int], dict] = {
+        (i, j): {} for i in range(arity) for j in range(i + 1, arity)}
+    for alternative, mass in zip(component.alternatives, masses):
+        values = alternative.values
+        for i in range(arity):
+            marginal = marginals[i]
+            value = values[i]
+            marginal[value] = marginal.get(value, 0.0) + mass
+        for i in range(arity - 1):
+            first = values[i]
+            for j in range(i + 1, arity):
+                joint = joints[(i, j)]
+                key = (first, values[j])
+                joint[key] = joint.get(key, 0.0) + mass
+    dependent = [[False] * arity for _ in range(arity)]
+    for (i, j), joint in joints.items():
+        is_dependent = (
+            len(joint) != len(marginals[i]) * len(marginals[j]))
+        if not is_dependent:
+            left, right = marginals[i], marginals[j]
+            for (first, second), mass in joint.items():
+                if abs(mass - left[first] * right[second]) > _TOLERANCE:
+                    is_dependent = True
+                    break
+        dependent[i][j] = dependent[j][i] = is_dependent
+    return dependent
 
 
 def factorize_component(component: Component) -> list[Component]:
@@ -91,27 +125,29 @@ def factorize_component(component: Component) -> list[Component]:
 
     The algorithm grows a dependency-closed group around a seed field, checks
     the group/rest factorisation exactly, splits on success and recurses on
-    both parts.  Components with a single field are already atomic.
+    both parts.  Components with a single field are already atomic.  Pairwise
+    dependence comes from the single-pass matrix
+    (:func:`_pairwise_dependence`); the committing group/rest check stays the
+    full :func:`_verify_split`, so semantics are unchanged.
     """
     if component.arity() == 1:
         return [component]
     fields = list(component.fields)
-    seed = fields[0]
-    group = {seed}
+    dependent = _pairwise_dependence(component)
+    group = {0}
     changed = True
     while changed:
         changed = False
-        for candidate in fields:
+        for candidate in range(len(fields)):
             if candidate in group:
                 continue
-            if any(_pairwise_dependent(component, candidate, member)
-                   for member in group):
+            if any(dependent[candidate][member] for member in group):
                 group.add(candidate)
                 changed = True
-    rest = [f for f in fields if f not in group]
+    rest = [fields[i] for i in range(len(fields)) if i not in group]
     if not rest:
         return [component]
-    group_fields = [f for f in fields if f in group]
+    group_fields = [fields[i] for i in sorted(group)]
     if not _verify_split(component, group_fields, rest):
         return [component]
     left = component.project(group_fields)

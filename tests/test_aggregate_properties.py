@@ -1,0 +1,318 @@
+"""Property-based tests (Hypothesis) for the decomposed aggregate engine.
+
+The central invariant: for *any* decomposition shape — mixed weighted /
+unweighted repairs, multi-field components, joins correlating several
+components — and *any* supported aggregate query (SUM / COUNT / AVG / MIN /
+MAX, DISTINCT, GROUP BY, HAVING, conf / possible / certain decorations,
+scalar aggregate subqueries), the convolution engine computes exactly what
+brute-force world enumeration computes, to 1e-9.  The explicit backend *is*
+that brute force: it materialises every world and evaluates per world.
+
+Every wsd-side run also asserts the strategy counters: the convolution
+engine answered (``stats.aggregate``), no component joint was enumerated,
+and no budget fallback was counted — the same discipline as
+``tests/test_wsd_executor_parity.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MayBMS
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import SqlType
+
+from test_wsd_executor_parity import forbid_world_enumeration
+
+
+# -- strategies ---------------------------------------------------------------------------
+
+
+@st.composite
+def dirty_workload(draw, max_groups=4, max_options=3):
+    """A dirty relation whose key repair yields a random decomposition.
+
+    Payload values are drawn from a small domain (so partial sums collide —
+    the regime the Minkowski-sum DP exploits), may be NULL, and each group
+    draws its own option count.  ``weighted`` toggles ``weight W``: mixing it
+    across the two relations of the join property gives decompositions with
+    weighted and unweighted components side by side.
+    """
+    groups = draw(st.integers(min_value=1, max_value=max_groups))
+    rows = []
+    for key in range(groups):
+        options = draw(st.integers(min_value=1, max_value=max_options))
+        # Unique payloads per group: duplicate rows make repair worlds
+        # coincide, where the two backends' (pre-existing) world accounting
+        # differs — the same discipline as test_confidence_properties.
+        payloads = draw(st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+            min_size=options, max_size=options, unique=True))
+        for payload in payloads:
+            weight = draw(st.integers(min_value=1, max_value=4))
+            rows.append((key, payload, weight))
+    schema = Schema([Column("K", SqlType.INTEGER),
+                     Column("P1", SqlType.INTEGER),
+                     Column("W", SqlType.INTEGER)])
+    weighted = draw(st.booleans())
+    return Relation(schema, rows, name="Dirty"), weighted
+
+
+@st.composite
+def aggregate_query(draw):
+    """A random supported aggregate query over the repaired relation I."""
+    function = draw(st.sampled_from(["sum", "count", "avg", "min", "max"]))
+    distinct = (draw(st.booleans())
+                if function in ("sum", "count", "avg") else False)
+    if function == "count" and not distinct and draw(st.booleans()):
+        call = "count(*)"
+    else:
+        call = f"{function}({'distinct ' if distinct else ''}P1)"
+    where = draw(st.sampled_from(
+        ["", " where P1 > 2", " where P1 % 2 = 0", " where K >= 1"]))
+    grouped = draw(st.booleans())
+    decoration = draw(st.sampled_from(["conf, ", "possible ", "certain "]))
+    if grouped:
+        having = draw(st.sampled_from(
+            ["", " having count(*) >= 1", f" having {call} is not null"]))
+        return (f"select {decoration}K, {call} from I{where} "
+                f"group by K{having};")
+    return f"select {decoration}{call} from I{where};"
+
+
+def canonical(result):
+    return sorted(
+        (tuple(round(value, 9) if isinstance(value, float) else value
+               for value in row)
+         for row in result.rows()),
+        key=repr)
+
+
+def build_pair(relation, weighted, extra=None):
+    """(explicit, wsd) sessions with I repaired from the dirty relation."""
+    catalog = {"Dirty": relation}
+    if extra is not None:
+        catalog.update(extra)
+    repair = ("create table I as select K, P1 from Dirty repair by key K"
+              + (" weight W;" if weighted else ";"))
+    explicit = MayBMS(dict(catalog), backend="explicit")
+    wsd = MayBMS(dict(catalog), backend="wsd")
+    explicit.execute(repair)
+    wsd.execute(repair)
+    return explicit, wsd
+
+
+def assert_convolution_answered(wsd):
+    stats = wsd.backend.stats
+    assert stats.aggregate >= 1
+    assert stats.component_joint == 0
+    assert stats.aggregate_fallbacks == 0
+    assert stats.fallback == 0
+
+
+# -- engine vs. brute-force world enumeration ----------------------------------------------
+
+
+class TestAggregatesMatchWorldEnumeration:
+    @given(workload=dirty_workload(), query=aggregate_query())
+    @settings(max_examples=120, deadline=None)
+    def test_decorated_aggregates_match(self, workload, query):
+        relation, weighted = workload
+        explicit, wsd = build_pair(relation, weighted)
+        expected = explicit.execute(query)
+        with forbid_world_enumeration():
+            actual = wsd.execute(query)
+        assert_convolution_answered(wsd)
+        assert canonical(actual) == canonical(expected), query
+
+    @given(workload=dirty_workload(max_groups=3),
+           function=st.sampled_from(["sum", "count", "avg", "min", "max"]))
+    @settings(max_examples=40, deadline=None)
+    def test_plain_aggregate_distribution_matches(self, workload, function):
+        """Undecorated aggregates return the full answer distribution."""
+        from test_wsd_executor_parity import (
+            assert_distributions_equal,
+            explicit_distribution,
+            wsd_distribution,
+        )
+
+        relation, weighted = workload
+        explicit, wsd = build_pair(relation, weighted)
+        argument = "*" if function == "count" else "P1"
+        query = f"select {function}({argument}) from I;"
+        expected = explicit.execute(query)
+        with forbid_world_enumeration():
+            actual = wsd.execute(query)
+        assert_convolution_answered(wsd)
+        assert_distributions_equal(wsd_distribution(actual),
+                                   explicit_distribution(expected), query)
+
+    @given(workload=dirty_workload(max_groups=3),
+           other=dirty_workload(max_groups=3),
+           decoration=st.sampled_from(["conf, ", "possible ", "certain "]))
+    @settings(max_examples=40, deadline=None)
+    def test_join_aggregates_with_mixed_weighting_match(self, workload,
+                                                       other, decoration):
+        """Aggregates over a join of two independently repaired relations:
+        contributions conditioned on *two* components exercise multi-
+        component clusters, and mixing weighted with unweighted repairs
+        exercises mixed effective masses in one convolution."""
+        relation, weighted = workload
+        second, second_weighted = other
+        second = Relation(second.schema, list(second.rows), name="Dirty2")
+        catalog = {"Dirty": relation, "Dirty2": second}
+        repairs = [
+            "create table I as select K, P1 from Dirty repair by key K"
+            + (" weight W;" if weighted else ";"),
+            "create table J as select K, P1 from Dirty2 repair by key K"
+            + (" weight W;" if second_weighted else ";"),
+        ]
+        query = (f"select {decoration}count(*) from I, J "
+                 "where I.K = J.K and I.P1 >= J.P1;")
+        explicit = MayBMS(dict(catalog), backend="explicit")
+        wsd = MayBMS(dict(catalog), backend="wsd")
+        for statement in repairs:
+            explicit.execute(statement)
+            wsd.execute(statement)
+        expected = explicit.execute(query)
+        with forbid_world_enumeration():
+            actual = wsd.execute(query)
+        assert_convolution_answered(wsd)
+        assert canonical(actual) == canonical(expected), query
+
+    @given(workload=dirty_workload(max_groups=3),
+           threshold=st.integers(min_value=-1, max_value=20),
+           function=st.sampled_from(["sum", "count", "avg", "min", "max"]))
+    @settings(max_examples=60, deadline=None)
+    def test_conf_of_aggregate_subquery_comparison_matches(self, workload,
+                                                           threshold,
+                                                           function):
+        """``SELECT CONF ... WHERE <threshold> op (SELECT agg ...)`` reads
+        off the same distribution (Example 2.10 generalised)."""
+        relation, weighted = workload
+        explicit, wsd = build_pair(relation, weighted)
+        argument = "*" if function == "count" else "P1"
+        query = (f"select conf from I "
+                 f"where {threshold} > (select {function}({argument}) "
+                 f"from I where P1 is not null);")
+        expected = explicit.execute(query).rows()[0][0]
+        with forbid_world_enumeration():
+            actual = wsd.execute(query).rows()[0][0]
+        assert_convolution_answered(wsd)
+        assert actual == pytest.approx(expected, abs=1e-9)
+
+
+# -- deterministic edge cases --------------------------------------------------------------
+
+
+class TestAggregateEdgeCases:
+    def make_sessions(self, rows, weighted=True):
+        schema = Schema([Column("K", SqlType.INTEGER),
+                         Column("P1", SqlType.INTEGER),
+                         Column("W", SqlType.INTEGER)])
+        relation = Relation(schema, rows, name="Dirty")
+        return build_pair(relation, weighted)
+
+    def both(self, explicit, wsd, query):
+        expected = explicit.execute(query)
+        with forbid_world_enumeration():
+            actual = wsd.execute(query)
+        assert_convolution_answered(wsd)
+        assert canonical(actual) == canonical(expected), query
+        return actual
+
+    def test_sum_over_all_null_group_is_null(self):
+        explicit, wsd = self.make_sessions(
+            [(0, None, 1), (0, None, 2), (1, 5, 1)])
+        result = self.both(explicit, wsd,
+                           "select certain sum(P1) from I;")
+        assert result.rows() == [(5,)]
+
+    def test_empty_filtered_input_yields_single_null_row(self):
+        explicit, wsd = self.make_sessions([(0, 1, 1), (0, 2, 1)])
+        result = self.both(
+            explicit, wsd, "select certain sum(P1) from I where P1 > 99;")
+        assert result.rows() == [(None,)]
+        explicit, wsd = self.make_sessions([(0, 1, 1), (0, 2, 1)])
+        result = self.both(
+            explicit, wsd, "select certain count(*) from I where P1 > 99;")
+        assert result.rows() == [(0,)]
+
+    def test_group_presence_is_uncertain_under_where(self):
+        # Group 0 only reaches the answer in worlds picking P1=7, so its
+        # row's confidence is the weight of those worlds, not 1.
+        explicit, wsd = self.make_sessions(
+            [(0, 7, 3), (0, 1, 1), (1, 9, 1)])
+        result = self.both(
+            explicit, wsd,
+            "select conf, K, count(*) from I where P1 > 5 group by K;")
+        rows = dict(((row[0], row[1]), row[2]) for row in result.rows())
+        assert rows[(0, 1)] == pytest.approx(0.75)
+        assert rows[(1, 1)] == pytest.approx(1.0)
+
+    def test_having_filters_states_not_groups(self):
+        explicit, wsd = self.make_sessions(
+            [(0, 6, 1), (0, 2, 1), (1, 3, 1)], weighted=False)
+        self.both(explicit, wsd,
+                  "select possible K, sum(P1) from I group by K "
+                  "having sum(P1) > 4;")
+
+    def test_expression_over_aggregates_in_select(self):
+        explicit, wsd = self.make_sessions(
+            [(0, 6, 1), (0, 2, 1), (1, 3, 1)])
+        self.both(explicit, wsd,
+                  "select conf, sum(P1) + count(*) from I;")
+        explicit, wsd = self.make_sessions(
+            [(0, 6, 1), (0, 2, 1), (1, 3, 1)])
+        self.both(explicit, wsd,
+                  "select possible K, sum(P1) * 2 from I group by K;")
+
+    def test_distinct_aggregates_deduplicate_across_components(self):
+        # The same payload value appears in two independent key groups: the
+        # distinct-set union must count it once.
+        explicit, wsd = self.make_sessions(
+            [(0, 4, 1), (0, 2, 1), (1, 4, 1), (1, 1, 1)])
+        self.both(explicit, wsd, "select possible sum(distinct P1) from I;")
+        explicit, wsd = self.make_sessions(
+            [(0, 4, 1), (0, 2, 1), (1, 4, 1), (1, 1, 1)])
+        self.both(explicit, wsd, "select conf, count(distinct P1) from I;")
+
+    def test_unsupported_shapes_still_answer_via_component_joint(self):
+        """ORDER BY / LIMIT on aggregates re-routes (uncounted) to the
+        joint strategy and stays correct."""
+        explicit, wsd = self.make_sessions(
+            [(0, 6, 1), (0, 2, 1), (1, 3, 1)])
+        query = ("select possible K, sum(P1) from I group by K "
+                 "order by K limit 1;")
+        expected = explicit.execute(query)
+        actual = wsd.execute(query)
+        assert wsd.backend.stats.component_joint == 1
+        assert wsd.backend.stats.aggregate_fallbacks == 0
+        assert canonical(actual) == canonical(expected)
+
+    def test_budget_overrun_counts_a_fallback(self):
+        from repro.wsd import execute as wsd_execute
+
+        explicit, wsd = self.make_sessions(
+            [(0, 6, 1), (0, 2, 1), (1, 3, 1), (1, 4, 1)])
+        original = wsd_execute.DecomposedAggregator
+        query = "select possible sum(P1) from I;"
+
+        class Starved(original):
+            def __init__(self, components, specs, **kwargs):
+                kwargs["budget"] = 1
+                super().__init__(components, specs, **kwargs)
+
+        wsd_execute.DecomposedAggregator = Starved
+        try:
+            actual = wsd.execute(query)
+        finally:
+            wsd_execute.DecomposedAggregator = original
+        assert wsd.backend.stats.aggregate_fallbacks == 1
+        assert wsd.backend.stats.component_joint == 1
+        # The query was NOT answered by convolution, so it must not count as
+        # a convolution-answered query.
+        assert wsd.backend.stats.aggregate == 0
+        assert canonical(actual) == canonical(explicit.execute(query))

@@ -88,6 +88,40 @@ QUERY_CORPUS = [
     "where i1.B + i2.B > 20 and i1.A <> i2.A;",
 ]
 
+#: Aggregate / HAVING / subquery corpus: every query below is answered by the
+#: decomposed (convolution) aggregate engine — per-cluster local
+#: distributions combined by sparse convolution — never by component-joint
+#: enumeration; test_aggregate_queries_use_convolution_engine asserts the
+#: strategy counters.
+AGGREGATE_CORPUS = [
+    "select count(*) from I;",
+    "select A, count(*) from I group by A;",
+    "select A, sum(B) from I group by A;",
+    "select conf, A, count(*) from I group by A;",
+    "select conf, A, sum(B) from I group by A;",
+    "select possible A, sum(B) from I group by A;",
+    "select certain A, count(*) from I group by A;",
+    "select possible avg(B) from I;",
+    "select conf, min(B) from I;",
+    "select possible max(B) from I;",
+    "select conf, count(*) from I where B > 12;",
+    "select possible count(distinct C) from I;",
+    "select possible sum(distinct B) from I;",
+    "select possible sum(B) from R repair by key A weight D;",
+    # HAVING reads off the same per-group distribution.
+    "select possible A, sum(B) from I group by A having sum(B) >= 20;",
+    "select conf, A, count(*) from I group by A having A <> 'a1';",
+    # Aggregate comparisons in scalar subqueries: the joint
+    # (answer-nonempty, aggregate value) distribution of one convolution.
+    "select conf from I where 50 > (select sum(B) from I);",
+    "select conf from I where (select count(*) from I where B > 12) >= 1;",
+    "select conf from S where (select max(B) from I) > 14;",
+    "select conf from I "
+    "where (select sum(B) from I) > 40 and (select min(B) from I) >= 10;",
+]
+
+QUERY_CORPUS = QUERY_CORPUS + AGGREGATE_CORPUS
+
 
 @contextlib.contextmanager
 def forbid_world_enumeration():
@@ -178,6 +212,8 @@ def test_backends_agree(setup, query):
         f"query fell back to world materialisation: {query}"
     assert wsd.backend.confidence_stats.enumeration_fallbacks == 0, \
         f"confidence fell back to joint enumeration: {query}"
+    assert wsd.backend.stats.aggregate_fallbacks == 0, \
+        f"aggregate engine fell back to joint enumeration: {query}"
     if expected.is_rows():
         assert actual.is_rows(), f"result kind diverged for: {query}"
         assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
@@ -200,6 +236,75 @@ def test_corpus_confidences_survive_cross_check(setup):
     for query in QUERY_CORPUS:
         wsd.execute(query)
     assert wsd.backend.confidence_stats.enumeration_fallbacks == 0
+
+
+@pytest.mark.parametrize("setup", [WEIGHTED_SETUP, UNWEIGHTED_SETUP],
+                         ids=["weighted", "unweighted"])
+@pytest.mark.parametrize("query", AGGREGATE_CORPUS)
+def test_aggregate_queries_use_convolution_engine(setup, query):
+    """The aggregate / HAVING / subquery corpus never enumerates component
+    joints: the convolution engine answers, with zero counted fallbacks."""
+    _, wsd = build_sessions(setup)
+    with forbid_world_enumeration():
+        wsd.execute(query)
+    stats = wsd.backend.stats
+    assert stats.aggregate >= 1, f"query skipped the aggregate engine: {query}"
+    assert stats.component_joint == 0, \
+        f"query enumerated component joints: {query}"
+    assert stats.aggregate_fallbacks == 0, \
+        f"aggregate engine fell back on: {query}"
+    assert wsd.backend.aggregate_stats.queries >= 1
+
+
+@pytest.mark.parametrize("query", AGGREGATE_CORPUS)
+def test_aggregate_corpus_agrees_with_enumerate_baseline(query):
+    """`aggregate_engine="enumerate"` re-enables the pre-engine joint path;
+    both modes must produce identical answers on the corpus."""
+    _, convolution = build_sessions(WEIGHTED_SETUP)
+    _, enumerate_mode = build_sessions(WEIGHTED_SETUP)
+    enumerate_mode.backend.aggregate_engine = "enumerate"
+    expected = enumerate_mode.execute(query)
+    actual = convolution.execute(query)
+    assert enumerate_mode.backend.stats.aggregate == 0
+    assert convolution.backend.stats.aggregate >= 1
+    if expected.is_rows():
+        assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
+    else:
+        assert_distributions_equal(wsd_distribution(actual),
+                                   wsd_distribution(expected), query)
+
+
+class TestGroundingCache:
+    """The memoised symbolic grounding (generation-keyed) satellite."""
+
+    def test_repeated_queries_reuse_grounding(self):
+        _, wsd = build_sessions(WEIGHTED_SETUP)
+        query = "select possible A, B, C from I;"
+        wsd.execute(query)
+        hits = wsd.backend.stats.ground_cache_hits
+        misses = wsd.backend.stats.ground_cache_misses
+        assert misses >= 1
+        wsd.execute(query)
+        assert wsd.backend.stats.ground_cache_hits > hits
+        assert wsd.backend.stats.ground_cache_misses == misses
+
+    def test_generation_bumps_invalidate_on_dml(self):
+        _, wsd = build_sessions(WEIGHTED_SETUP)
+        wsd.execute("select possible A from R;")
+        generation = wsd.decomposition.generation
+        wsd.execute("insert into R values ('a9', 1, 'c9', 1);")
+        assert wsd.decomposition.generation != generation
+        # The fresh generation misses the cache, then caches again.
+        misses = wsd.backend.stats.ground_cache_misses
+        result = wsd.execute("select possible A from R;")
+        assert wsd.backend.stats.ground_cache_misses > misses
+        assert ("a9",) in result.rows()
+
+    def test_install_derives_fresh_generation(self):
+        _, wsd = build_sessions(WEIGHTED_SETUP)
+        before = wsd.decomposition.generation
+        wsd.execute("create table K as select A, B from I where B >= 15;")
+        assert wsd.decomposition.generation != before
 
 
 class TestSessionStateParity:
