@@ -119,6 +119,25 @@ def scale3_aggregate_parameters() -> dict:
             "joint_limit": None, "payload_domain": 10}
 
 
+def scale4_grouping_parameters() -> dict:
+    """Parameters for the SCALE-4 world-grouping / set-operation sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation, one
+    independent component each; world count is ``options ** groups``).
+    ``explicit_limit`` bounds the points the explicit backend materialises;
+    the guarded component-joint grouping baseline
+    (``grouping_engine="enumerate"``) runs under the executor's default
+    enumeration guard and provably refuses from ``~2^20`` worlds.
+    ``payload_domain`` keeps the grouping aggregate's value lattice small so
+    the native engine's convolution states stay pseudo-polynomial.
+    """
+    if BENCH_SMOKE:
+        return {"groups": (3, 6), "options": 2, "explicit_limit": 16,
+                "joint_limit": 16, "payload_domain": 6}
+    return {"groups": (8, 10, 20, 24), "options": 2, "explicit_limit": 256,
+            "joint_limit": None, "payload_domain": 6}
+
+
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print a small aligned table (the benchmark's reproduction of a figure)."""
     rendered = [[str(cell) for cell in row] for row in rows]

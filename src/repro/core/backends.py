@@ -470,7 +470,8 @@ class WsdBackend(ExecutionBackend):
     def __init__(self, catalog: Catalog | dict[str, Relation] | None = None,
                  enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
                  confidence_engine: str = "dtree",
-                 aggregate_engine: str = "convolution") -> None:
+                 aggregate_engine: str = "convolution",
+                 grouping_engine: str = "native") -> None:
         template = Template()
         if catalog is not None:
             if isinstance(catalog, dict):
@@ -491,7 +492,17 @@ class WsdBackend(ExecutionBackend):
         #: guarded component-joint enumeration, kept as the benchmark
         #: baseline).
         self.aggregate_engine = aggregate_engine
-        #: Accumulated per-strategy counters across all executed statements.
+        #: How ``group worlds by`` and compound (UNION/INTERSECT/EXCEPT)
+        #: queries are evaluated: ``"native"`` (the world-grouping and
+        #: set-operation engines, default; unsupported shapes escape to the
+        #: guarded component-joint grouping, counted in
+        #: ``stats.group_fallbacks``) or ``"enumerate"`` (always the guarded
+        #: component-joint path, kept as the benchmark baseline).
+        self.grouping_engine = grouping_engine
+        #: Accumulated per-strategy counters across all executed statements
+        #: (symbolic / aggregate / grouping / setops / component_joint
+        #: tiers, plus the fallback, aggregate_fallbacks and group_fallbacks
+        #: escape counters and the grounding-cache hit/miss accounting).
         self.stats = WsdExecutionStats()
         #: Accumulated confidence-computation counters (closed forms, d-tree
         #: rule firings, memo hits and — crucially for CI — enumeration
@@ -610,6 +621,7 @@ class WsdBackend(ExecutionBackend):
                            enumeration_limit=self.enumeration_limit,
                            confidence=self.confidence_engine,
                            aggregates=self.aggregate_engine,
+                           world_grouping=self.grouping_engine,
                            ground_cache=self._ground_cache)
 
     def _execute_query(self, query: Query) -> StatementResult:

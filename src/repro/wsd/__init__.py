@@ -39,7 +39,19 @@ from .execute import (
     prune_and_normalize,
 )
 from .fields import EXISTS_ATTRIBUTE, Field
+from .grouping import (
+    GroupingUnsupportedError,
+    WorldFunction,
+    WorldGroup,
+    compile_world_function,
+    evaluate_group_worlds,
+)
 from .normalize import factorize_component, is_normalized, normalize
+from .setops import (
+    DEFAULT_CLAUSE_BUDGET,
+    SetOpBudgetExceededError,
+    evaluate_compound_entries,
+)
 
 __all__ = [
     "AggregateBudgetExceededError",
@@ -48,6 +60,7 @@ __all__ = [
     "Component",
     "Condition",
     "ConfidenceStats",
+    "DEFAULT_CLAUSE_BUDGET",
     "DEFAULT_ENUMERATION_LIMIT",
     "DEFAULT_NODE_BUDGET",
     "DEFAULT_STATE_BUDGET",
@@ -56,17 +69,24 @@ __all__ = [
     "DTreeEngine",
     "EXISTS_ATTRIBUTE",
     "Field",
+    "GroupingUnsupportedError",
+    "SetOpBudgetExceededError",
     "SymTuple",
     "SymbolicRelation",
     "Template",
     "TemplateTuple",
     "WSDExecutor",
     "WSDQueryResult",
+    "WorldFunction",
+    "WorldGroup",
     "WorldSetDecomposition",
     "WsdExecutionStats",
     "add_certain_relation",
     "analyse_aggregate_query",
+    "compile_world_function",
     "ensure_enumerable",
+    "evaluate_compound_entries",
+    "evaluate_group_worlds",
     "factorize_component",
     "from_choice_of",
     "from_key_repair",

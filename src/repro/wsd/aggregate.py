@@ -75,6 +75,7 @@ __all__ = [
     "DecomposedAggregator",
     "DEFAULT_STATE_BUDGET",
     "analyse_aggregate_query",
+    "plan_contributions",
 ]
 
 #: Maximum number of states in any distribution (per-cluster or convolved)
@@ -650,6 +651,55 @@ class AggregatePlan:
             if self.having.evaluate(values, key) is not True:
                 return False
         return True
+
+    def answer_rows(self, states: dict[tuple, tuple]) -> list[tuple]:
+        """The per-world answer rows of one key -> state mapping.
+
+        Shared by the plain aggregate distribution and the world-grouping
+        engine's aggregate decoding, so both construct identical answers —
+        including the keyless case, where an absent state means no
+        contribution existed and the identity state applies.
+        """
+        rows: list[tuple] = []
+        if not self.key_exprs:
+            state = states.get(())
+            if state is None:
+                state = tuple(spec.identity
+                              for spec in [_ExistsSpec()] + self.specs)
+            if self.state_included((), state):
+                rows.append(self.output_row((), state))
+            return rows
+        for key, state in states.items():
+            if self.state_included(key, state):
+                rows.append(self.output_row(key, state))
+        return rows
+
+
+def plan_contributions(plan: "AggregatePlan", joined,
+                       wrap_key: Callable[[tuple], tuple] | None = None
+                       ) -> list[Contribution]:
+    """One contribution per ground row of *joined* under *plan*.
+
+    The delta vector aligns with ``[_ExistsSpec()] + plan.specs`` (slot 0 is
+    the exists flag).  Shared by the executor's aggregate tier and the
+    world-grouping compiler so both lift arguments identically;
+    ``wrap_key`` lets the grouping engine namespace the group keys.
+    """
+    contributions: list[Contribution] = []
+    for sym in joined.tuples:
+        context = EvalContext(schema=joined.schema, row=sym.row)
+        key = tuple(expr.evaluate(context) for expr in plan.key_exprs)
+        delta: list[Any] = [True]
+        for call, spec in zip(plan.calls, plan.specs):
+            if call.argument is None or isinstance(call.argument, Star):
+                value = None
+            else:
+                value = call.argument.evaluate(context)
+            delta.append(spec.lift(value))
+        if wrap_key is not None:
+            key = wrap_key(key)
+        contributions.append(Contribution(key, sym.condition, tuple(delta)))
+    return contributions
 
 
 def _collect_subqueries(node: Expression) -> list[Expression]:

@@ -29,11 +29,25 @@ Three evaluation strategies, ordered from cheapest to most expensive:
    plain per-world plan.  Components the query does not mention are never
    enumerated.
 
-3. **Fallback** — ``group worlds by`` and compound queries decompose to the
-   explicit backend via guarded materialisation.  Fallbacks are flagged
-   explicitly: they increment :attr:`WsdExecutionStats.fallback`, so tests
-   and benchmarks can assert that the scalable query classes never
-   materialise worlds.
+3. **World grouping / set operations** — ``group worlds by`` partitions
+   worlds by the answer of a subquery; the native engine
+   (:mod:`repro.wsd.grouping`) compiles the grouping expression to
+   aggregate-style contributions over (component, alternative-set) atoms
+   and reads group masses and conditioned per-group answers off one
+   decomposed convolution.  UNION / INTERSECT / EXCEPT
+   (:mod:`repro.wsd.setops`) combine condition-annotated entries directly
+   (presence-condition disjunction / conjunction / and-not, bag and set
+   semantics).  Shapes neither engine covers drop to a *guarded*
+   component-joint grouping — still decomposition-local, still counted:
+   :attr:`WsdExecutionStats.group_fallbacks` tracks every such escape, and
+   the ``world_grouping="enumerate"`` mode keeps the guarded path as a
+   benchmark baseline.
+
+4. **Fallback** — only FROM clauses that multiply worlds data-dependently
+   (repairing an uncertain relation) still decompose to the explicit
+   backend via guarded materialisation, flagged in
+   :attr:`WsdExecutionStats.fallback`; no statement *shape* routes through
+   explicit enumeration any more.
 
 After ``assert`` conditioning the derived decomposition is re-normalised
 (:func:`repro.wsd.normalize.normalize`) so it stays maximally factorised.
@@ -84,6 +98,7 @@ from .aggregate import (
     Contribution,
     DecomposedAggregator,
     analyse_aggregate_query,
+    plan_contributions,
     _ExistsSpec,
 )
 from .component import Alternative, Component
@@ -102,7 +117,12 @@ from .decomposition import (
     ensure_enumerable,
 )
 from .fields import EXISTS_ATTRIBUTE, Field
+from .grouping import (
+    GroupingUnsupportedError,
+    evaluate_group_worlds,
+)
 from .normalize import normalize
+from .setops import SetOpBudgetExceededError, evaluate_compound_entries
 
 __all__ = [
     "AggregateStats",
@@ -235,16 +255,25 @@ class WsdExecutionStats:
     aggregate engine; ``aggregate_fallbacks`` counts aggregate-shaped queries
     whose state space exceeded the engine's budget and dropped to the guarded
     component-joint enumeration — CI asserts this stays zero on factorising
-    workloads.  ``ground_cache_hits`` / ``ground_cache_misses`` account the
+    workloads.  ``grouping`` counts ``group worlds by`` queries answered by
+    the native grouping engine and ``setops`` compound queries combined
+    natively; ``group_fallbacks`` counts the grouping / compound shapes the
+    native engines could not answer (budget overruns, ORDER BY / LIMIT
+    compounds, non-compilable grouping mains) that escaped to the guarded
+    component-joint grouping — CI asserts this stays zero on the supported
+    classes.  ``ground_cache_hits`` / ``ground_cache_misses`` account the
     memoised symbolic grounding (per relation, keyed on the decomposition
     generation).
     """
 
     symbolic: int = 0
     aggregate: int = 0
+    grouping: int = 0
+    setops: int = 0
     component_joint: int = 0
     fallback: int = 0
     aggregate_fallbacks: int = 0
+    group_fallbacks: int = 0
     ground_cache_hits: int = 0
     ground_cache_misses: int = 0
 
@@ -252,9 +281,12 @@ class WsdExecutionStats:
         """Accumulate *other* into this counter set."""
         self.symbolic += other.symbolic
         self.aggregate += other.aggregate
+        self.grouping += other.grouping
+        self.setops += other.setops
         self.component_joint += other.component_joint
         self.fallback += other.fallback
         self.aggregate_fallbacks += other.aggregate_fallbacks
+        self.group_fallbacks += other.group_fallbacks
         self.ground_cache_hits += other.ground_cache_hits
         self.ground_cache_misses += other.ground_cache_misses
 
@@ -268,9 +300,11 @@ class WSDQueryResult:
     * ``"rows"`` — a single collected relation (possible / certain / conf);
     * ``"wsd"`` — a compact answer: ``decomposition`` holds a derived WSD
       containing the single relation ``relation_name``;
-    * ``"distribution"`` — per-answer probability masses for plain queries
-      that needed component-joint evaluation (aggregates): a list of
-      ``(mass, relation)`` pairs, masses summing to one;
+    * ``"distribution"`` — per-answer probability masses: a list of
+      ``(mass, relation)`` pairs, masses summing to one — produced by plain
+      aggregate queries (the distribution over whole answers) and by
+      ``group worlds by`` (one pair per world group, the group's collected
+      answer under its probability mass);
     * ``"explicit"`` — the query fell back to guarded materialisation;
       ``explicit`` holds the explicit backend's result object.
     """
@@ -365,6 +399,7 @@ class WSDExecutor:
                  enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
                  confidence: str = "dtree",
                  aggregates: str = "convolution",
+                 world_grouping: str = "native",
                  ground_cache: dict | None = None) -> None:
         if confidence not in ("dtree", "enumerate", "cross-check"):
             raise AnalysisError(
@@ -374,6 +409,10 @@ class WSDExecutor:
             raise AnalysisError(
                 f"unknown aggregate mode {aggregates!r} "
                 "(expected 'convolution' or 'enumerate')")
+        if world_grouping not in ("native", "enumerate"):
+            raise AnalysisError(
+                f"unknown world-grouping mode {world_grouping!r} "
+                "(expected 'native' or 'enumerate')")
         self.base = decomposition
         self.views: dict[str, Query] = {}
         if views:
@@ -392,6 +431,12 @@ class WSDExecutor:
         #: guarded component-joint enumeration, kept as a benchmark baseline).
         self.aggregates = aggregates
         self.aggregate_stats = AggregateStats()
+        #: How ``group worlds by`` and compound queries are evaluated:
+        #: ``"native"`` (the grouping / set-operation engines, default,
+        #: escaping to guarded component-joint grouping only on counted
+        #: ``group_fallbacks``) or ``"enumerate"`` (always the guarded
+        #: component-joint path, kept as the benchmark baseline).
+        self.world_grouping = world_grouping
         self._engines: dict[int, tuple[WorldSetDecomposition, DTreeEngine]] = {}
         #: Memoised symbolic groundings keyed on (decomposition generation,
         #: relation name); shareable across executors via the constructor so
@@ -405,16 +450,16 @@ class WSDExecutor:
     def evaluate_query(self, query: Query) -> WSDQueryResult:
         """Evaluate *query* against the base decomposition (left untouched)."""
         if isinstance(query, CompoundQuery):
-            return self._fallback(query)
+            return self._evaluate_compound(query)
         if not isinstance(query, SelectQuery):
             raise AnalysisError(
                 f"cannot evaluate a {type(query).__name__} as a query")
-        if query.group_worlds_by is not None:
-            return self._fallback(query)
         try:
             working, items = self._resolve_from(self.base, query.from_clause)
             if query.assert_condition is not None:
                 working = self._apply_assert(working, query.assert_condition)
+            if query.group_worlds_by is not None:
+                return self._evaluate_group_worlds(working, query, items)
             return self._evaluate_world_query(working, query, items)
         except _FallbackNeeded:
             return self._fallback(query)
@@ -439,13 +484,21 @@ class WSDExecutor:
         The returned decomposition holds every previous relation (transients
         dropped), plus *name* bound to the query answer, re-normalised.
         """
-        if isinstance(query, CompoundQuery) or not isinstance(query, SelectQuery):
+        if isinstance(query, CompoundQuery):
+            try:
+                working, schema, entries = self._compound_source_entries(
+                    self.base, query)
+            except _FallbackNeeded as exc:
+                raise UnsupportedFeatureError(
+                    "this compound query requires world materialisation, "
+                    "which CREATE TABLE AS does not support on the wsd "
+                    "backend") from exc
+            return self._install_entries(working, name, schema, entries,
+                                         keep="session")
+        if not isinstance(query, SelectQuery):
             raise UnsupportedFeatureError(
-                "CREATE TABLE AS on the wsd backend requires a plain SELECT")
-        if query.group_worlds_by is not None:
-            raise UnsupportedFeatureError(
-                "group worlds by is not supported under CREATE TABLE AS "
-                "on the wsd backend")
+                "CREATE TABLE AS on the wsd backend requires a SELECT "
+                "or compound query")
         try:
             working, items = self._resolve_from(self.base, query.from_clause)
         except _FallbackNeeded as exc:
@@ -454,6 +507,16 @@ class WSDExecutor:
                 "CREATE TABLE AS does not support on the wsd backend") from exc
         if query.assert_condition is not None:
             working = self._apply_assert(working, query.assert_condition)
+        if query.group_worlds_by is not None:
+            # Install the per-world group answers (each world receives its
+            # group's collected relation, mirroring the explicit backend).
+            # The install needs explicit group *events* as conditions, which
+            # only the guarded component-joint grouping produces.
+            self._require_plain_worldlocal(query.group_worlds_by.query,
+                                           "a nested query")
+            schema, entries = self._group_worlds_entries(working, query, items)
+            return self._install_entries(working, name, schema, entries,
+                                         keep="session")
         if query.conf or query.quantifier is not None:
             stripped = _strip_world_clauses(query, keep_collection=True)
             result = self._evaluate_world_query(working, stripped, items)
@@ -510,10 +573,14 @@ class WSDExecutor:
                               query: Query, alias: str, repair, choice
                               ) -> tuple[WorldSetDecomposition, tuple[str, str]]:
         """Resolve a view or derived table into a transient relation."""
-        self._require_symbolic_plain(query)
-        assert isinstance(query, SelectQuery)
-        working, items = self._resolve_from(working, query.from_clause)
-        schema, entries = self._symbolic_entries(working, query, items)
+        if isinstance(query, CompoundQuery):
+            working, schema, entries = self._compound_source_entries(working,
+                                                                     query)
+        else:
+            self._require_symbolic_plain(query)
+            assert isinstance(query, SelectQuery)
+            working, items = self._resolve_from(working, query.from_clause)
+            schema, entries = self._symbolic_entries(working, query, items)
         if repair is not None or choice is not None:
             if not all(any(c.is_true() for c in conds) for _, conds in entries):
                 raise _FallbackNeeded
@@ -1102,23 +1169,13 @@ class WSDExecutor:
         specs = [_ExistsSpec()] + plan.specs
         engine = DecomposedAggregator(working.components, specs,
                                       stats=self.aggregate_stats)
-        contributions: list[Contribution] = []
+        contributions = plan_contributions(plan, joined)
         key_order: list[tuple] = []
         seen_keys: set[tuple] = set()
-        for sym in joined.tuples:
-            context = EvalContext(schema=joined.schema, row=sym.row)
-            key = tuple(expr.evaluate(context) for expr in plan.key_exprs)
-            delta: list[Any] = [True]
-            for call, spec in zip(plan.calls, plan.specs):
-                if call.argument is None or isinstance(call.argument, Star):
-                    value = None
-                else:
-                    value = call.argument.evaluate(context)
-                delta.append(spec.lift(value))
-            contributions.append(Contribution(key, sym.condition, tuple(delta)))
-            if key not in seen_keys:
-                seen_keys.add(key)
-                key_order.append(key)
+        for contribution in contributions:
+            if contribution.key not in seen_keys:
+                seen_keys.add(contribution.key)
+                key_order.append(contribution.key)
         if query.conf or query.quantifier is not None:
             per_key = engine.key_distributions(contributions)
             if not plan.key_exprs and () not in per_key:
@@ -1190,19 +1247,7 @@ class WSDExecutor:
         order_keys: list[tuple] = []
         grouped: dict[tuple, tuple[float, Relation]] = {}
         for mapping, mass in joint.items():
-            states = dict(mapping)
-            rows: list[tuple] = []
-            if not plan.key_exprs:
-                state = states.get((), None)
-                if state is None:
-                    state = tuple(spec.identity
-                                  for spec in [_ExistsSpec()] + plan.specs)
-                if plan.state_included((), state):
-                    rows.append(plan.output_row((), state))
-            else:
-                for key, state in mapping:
-                    if plan.state_included(key, state):
-                        rows.append(plan.output_row(key, state))
+            rows = plan.answer_rows(dict(mapping))
             relation = _make_relation(schema, rows)
             fingerprint = (tuple(schema.names()), relation.fingerprint())
             if fingerprint not in grouped:
@@ -1285,6 +1330,203 @@ class WSDExecutor:
             kind="rows",
             relation=_make_relation(Schema([Column("conf")]), [(mass,)]))
 
+    # -- compound queries (UNION / INTERSECT / EXCEPT) -----------------------------------------
+
+    def _evaluate_compound(self, query: CompoundQuery) -> WSDQueryResult:
+        """Combine the operands' condition-annotated entries natively and
+        install the result as a compact answer decomposition.
+
+        Compounds carrying ORDER BY / LIMIT / OFFSET (at any nesting level)
+        keep per-world semantics the entry algebra cannot express — LIMIT
+        selects world-dependent rows, ORDER BY orders each world's answer —
+        so they evaluate per joint alternative instead, returning ordered
+        answers as a guarded per-world distribution (counted in
+        :attr:`WsdExecutionStats.group_fallbacks` under the native mode).
+        """
+        self._require_plain_worldlocal(
+            query, "a compound (UNION/INTERSECT/EXCEPT) query")
+        if _compound_needs_per_world(query):
+            if self.world_grouping == "native":
+                self.stats.group_fallbacks += 1
+            try:
+                return self._compound_distribution(query)
+            except _FallbackNeeded:
+                return self._fallback(query)
+        try:
+            working, schema, entries = self._compound_source_entries(
+                self.base, query)
+        except _FallbackNeeded:
+            return self._fallback(query)
+        answer = self._install_entries(working, "answer", schema, entries,
+                                       keep="answer")
+        return WSDQueryResult(kind="wsd", decomposition=answer,
+                              relation_name="answer")
+
+    def _compound_distribution(self, query: CompoundQuery) -> WSDQueryResult:
+        """Guarded per-joint evaluation of an ORDER BY / LIMIT compound:
+        each distinct per-world answer keeps its row order."""
+        working = self.base
+        names = self._joint_relation_names(working, query, [])
+        order_keys: list[tuple] = []
+        grouped: dict[tuple, tuple[float, Relation]] = {}
+        for combo, involved, answers in self._iter_query_joints(
+                working, names, query):
+            answer = answers[0]
+            weight = self._joint_weight(working, involved, combo)
+            key = (tuple(answer.schema.names()), answer.fingerprint())
+            if key not in grouped:
+                order_keys.append(key)
+                grouped[key] = (weight, answer)
+            else:
+                mass, representative = grouped[key]
+                grouped[key] = (mass + weight, representative)
+        return WSDQueryResult(
+            kind="distribution",
+            distribution=[grouped[key] for key in order_keys])
+
+    def _compound_source_entries(self, working: WorldSetDecomposition,
+                                 query: CompoundQuery
+                                 ) -> tuple[WorldSetDecomposition, Schema,
+                                            list[tuple[tuple, list[Condition]]]]:
+        """``(working, schema, entries)`` of a compound query's answer.
+
+        Native set-operation combination first (mode ``"native"``); clause-
+        budget overruns and LIMIT-bearing compounds escape — counted in
+        :attr:`WsdExecutionStats.group_fallbacks` — to the guarded
+        component-joint evaluation of the whole compound.  (Entries carry no
+        row order, so the purely presentational ORDER BY does not force the
+        guarded path here; content-changing LIMIT / OFFSET does.)
+        """
+        self._require_plain_worldlocal(
+            query, "a compound (UNION/INTERSECT/EXCEPT) query")
+        if self.world_grouping == "native":
+            if not _compound_limits_content(query):
+                try:
+                    working, schema, entries = evaluate_compound_entries(
+                        self, working, query)
+                except SetOpBudgetExceededError:
+                    self.stats.group_fallbacks += 1
+                else:
+                    self.stats.setops += 1
+                    return working, schema, entries
+            else:
+                # Per-world LIMIT selects world-dependent rows; only
+                # per-joint evaluation reproduces it.
+                self.stats.group_fallbacks += 1
+        schema, entries = self._compound_entries_enumerate(working, query)
+        return working, schema, entries
+
+    def _compound_entries_enumerate(self, working: WorldSetDecomposition,
+                                    query: CompoundQuery
+                                    ) -> tuple[Schema,
+                                               list[tuple[tuple, list[Condition]]]]:
+        """Guarded per-joint evaluation of a whole compound query."""
+        names = self._joint_relation_names(working, query, [])
+        return self._entries_from_joints(
+            working,
+            ((combo, involved, answers[0])
+             for combo, involved, answers
+             in self._iter_query_joints(working, names, query)))
+
+    def _require_plain_worldlocal(self, query: Query, where: str) -> None:
+        """Reject world-level constructs inside *where* — exactly the
+        explicit executor's validation, so both backends refuse the same
+        shapes with the same errors."""
+        from ..core.executor import Executor
+
+        Executor(self.views)._require_plain(query, where)
+
+    # -- group worlds by -----------------------------------------------------------------------
+
+    def _evaluate_group_worlds(self, working: WorldSetDecomposition,
+                               query: SelectQuery,
+                               items: list[tuple[str, str]]) -> WSDQueryResult:
+        """Partition worlds by the grouping subquery's answer, natively.
+
+        The result is a distribution: one ``(probability mass, collected
+        relation)`` pair per world group — the compact counterpart of the
+        explicit backend's per-world collected answers.
+        """
+        self._require_plain_worldlocal(query.group_worlds_by.query,
+                                       "a nested query")
+        if self.world_grouping == "native":
+            try:
+                groups = evaluate_group_worlds(self, working, query, items)
+            except (GroupingUnsupportedError, AggregateBudgetExceededError,
+                    UnknownColumnError):
+                # Shapes the native compilers do not cover (ORDER BY /
+                # LIMIT mains, non-aggregate subqueries, correlated
+                # references) escape to the guarded component-joint
+                # grouping below.
+                self.stats.group_fallbacks += 1
+            else:
+                self.stats.grouping += 1
+                return WSDQueryResult(
+                    kind="distribution",
+                    distribution=[(group.mass, group.relation)
+                                  for group in groups])
+        distribution = self._group_worlds_enumerate(working, query, items)
+        return WSDQueryResult(kind="distribution", distribution=distribution)
+
+    def _group_worlds_joints(self, working: WorldSetDecomposition,
+                             query: SelectQuery,
+                             items: list[tuple[str, str]]):
+        """Yield ``(combo, involved, answer, group key)`` per joint
+        alternative of the components the main and grouping queries touch."""
+        core = _strip_world_clauses(query, items=items)
+        grouping_query = query.group_worlds_by.query
+        names = self._joint_relation_names(working, core,
+                                           [name for name, _ in items])
+        names = self._joint_relation_names(working, grouping_query, names)
+        for combo, involved, answers in self._iter_query_joints(
+                working, names, core, grouping_query):
+            yield combo, involved, answers[0], answers[1].fingerprint()
+
+    def _group_worlds_enumerate(self, working: WorldSetDecomposition,
+                                query: SelectQuery,
+                                items: list[tuple[str, str]]
+                                ) -> list[tuple[float, Relation]]:
+        """Guarded component-joint grouping: the enumerate baseline."""
+        from ..core.executor import collect_quantifier
+
+        quantifier = query.quantifier or "possible"
+        order: list[tuple] = []
+        answers: dict[tuple, list[Relation]] = {}
+        masses: dict[tuple, float] = {}
+        for combo, involved, answer, group_key in self._group_worlds_joints(
+                working, query, items):
+            if group_key not in answers:
+                order.append(group_key)
+                answers[group_key] = []
+                masses[group_key] = 0.0
+            answers[group_key].append(answer)
+            masses[group_key] += self._joint_weight(working, involved, combo)
+        return [(masses[key],
+                 collect_quantifier(quantifier, answers[key]))
+                for key in order]
+
+    def _group_worlds_entries(self, working: WorldSetDecomposition,
+                              query: SelectQuery,
+                              items: list[tuple[str, str]]
+                              ) -> tuple[Schema,
+                                         list[tuple[tuple, list[Condition]]]]:
+        """Entries installing the per-world group answers (CREATE TABLE AS):
+        every joint alternative contributes its group's collected relation
+        under its pinned condition."""
+        from ..core.executor import collect_quantifier
+
+        quantifier = query.quantifier or "possible"
+        joints = list(self._group_worlds_joints(working, query, items))
+        grouped: dict[tuple, list[Relation]] = {}
+        for _combo, _involved, answer, group_key in joints:
+            grouped.setdefault(group_key, []).append(answer)
+        collected = {key: collect_quantifier(quantifier, group)
+                     for key, group in grouped.items()}
+        return self._entries_from_joints(
+            working,
+            ((combo, involved, collected[group_key])
+             for combo, involved, _answer, group_key in joints))
+
     # -- component-joint evaluation ------------------------------------------------------------
 
     def _evaluate_component_joint(self, working: WorldSetDecomposition,
@@ -1344,8 +1586,17 @@ class WSDExecutor:
         (:meth:`_component_joint_entries`).
         """
         core = _strip_world_clauses(query, items=items)
-        names = [name for name, _ in items]
-        for name in _referenced_relation_names(core):
+        names = self._joint_relation_names(working, core,
+                                           [name for name, _ in items])
+        for combo, involved, answers in self._iter_query_joints(
+                working, names, core):
+            yield combo, involved, answers[0]
+
+    def _joint_relation_names(self, working: WorldSetDecomposition,
+                              node: Query, seed: list[str]) -> list[str]:
+        """*seed* plus every relation *node* references (canonicalised)."""
+        names = list(seed)
+        for name in _referenced_relation_names(node):
             if any(existing.lower() == name.lower() for existing in names):
                 continue
             if name.lower() in self.views:
@@ -1353,6 +1604,19 @@ class WSDExecutor:
                     "views cannot be referenced inside a nested query; "
                     "materialise the view with CREATE TABLE ... AS first")
             names.append(self._canonical_name(working, name))
+        return names
+
+    def _iter_query_joints(self, working: WorldSetDecomposition,
+                           names: Sequence[str], *queries: Query):
+        """Evaluate plain *queries* once per joint alternative of the
+        components touching *names* (the single guarded joint-enumeration
+        core shared by the component-joint, compound-enumerate and
+        world-grouping paths).
+
+        Yields ``(combo, involved, answers)`` per joint alternative, where
+        *combo* is the alternative index per *involved* component and
+        *answers* aligns with *queries*.
+        """
         fields = {f
                   for name in names
                   for t in working.template.relation_tuples(name)
@@ -1378,8 +1642,10 @@ class WSDExecutor:
             for name in names:
                 catalog.create(name, _instantiate_relation(
                     working.template, name, assignment))
-            answer = executor.evaluate_plain_in_world(core, World(catalog))
-            yield combo, involved, answer
+            world = World(catalog)
+            answers = [executor.evaluate_plain_in_world(query, world)
+                       for query in queries]
+            yield combo, involved, answers
         self.stats.component_joint += 1
 
     def _component_joint_answers(self, working: WorldSetDecomposition,
@@ -1405,13 +1671,21 @@ class WSDExecutor:
         several joint answers carries the disjunction of their conditions, so
         the installed relation reproduces every per-world answer exactly.
         """
+        return self._entries_from_joints(
+            working, self._iter_component_joints(working, query, items))
+
+    def _entries_from_joints(self, working: WorldSetDecomposition, joints
+                             ) -> tuple[Schema,
+                                        list[tuple[tuple, list[Condition]]]]:
+        """Entries from ``(combo, involved, answer)`` joint alternatives:
+        every answer row copy carries the pinned per-joint conditions of the
+        alternatives producing it."""
         from collections import Counter
 
         schema: Schema | None = None
         row_order: list[tuple] = []
         copies: dict[tuple, list[list[Condition]]] = {}
-        for combo, involved, answer in self._iter_component_joints(
-                working, query, items):
+        for combo, involved, answer in joints:
             atoms = [(index, frozenset([alt_index]))
                      for index, alt_index in zip(involved, combo)
                      if len(working.components[index]) > 1]
@@ -1909,6 +2183,30 @@ class _Group:
 
 
 # -- module helpers -----------------------------------------------------------------------------
+
+
+def _compound_needs_per_world(query: Query) -> bool:
+    """True when a compound carries ORDER BY / LIMIT / OFFSET at any
+    compound nesting level — per-world semantics the entry algebra cannot
+    express (LIMIT changes content, ORDER BY orders each world's answer)."""
+    if not isinstance(query, CompoundQuery):
+        return False
+    if query.order_by or query.limit is not None or query.offset:
+        return True
+    return _compound_needs_per_world(query.left) \
+        or _compound_needs_per_world(query.right)
+
+
+def _compound_limits_content(query: Query) -> bool:
+    """True when a compound carries content-changing LIMIT / OFFSET at any
+    compound nesting level (pure ORDER BY leaves the answer *set* intact,
+    which is all the condition-annotated entries represent)."""
+    if not isinstance(query, CompoundQuery):
+        return False
+    if query.limit is not None or query.offset:
+        return True
+    return _compound_limits_content(query.left) \
+        or _compound_limits_content(query.right)
 
 
 def _flatten_and(expression: Expression) -> list[Expression]:

@@ -1,0 +1,400 @@
+"""WSD-native ``group worlds by``: world partitions on the decomposition.
+
+``GROUP WORLDS BY (subquery)`` partitions the world-set by the answer of the
+grouping subquery and applies ``possible`` / ``certain`` within each group.
+The explicit backend evaluates the subquery once per world; this module
+computes the same partition *without materialising worlds*:
+
+1. The grouping subquery is compiled into a **world function** — a finite
+   description of how its per-world answer depends on the decomposition's
+   components.  Two compilers cover the supported shapes:
+
+   * **symbolic** — a plain select compiles to condition-annotated ground
+     rows (the symbolic executor's entries); the per-world answer is the bag
+     of rows whose conditions hold, tracked by one count / exists aggregate
+     spec keyed per row;
+   * **aggregate** — an aggregate / GROUP BY / HAVING select compiles via
+     :func:`~repro.wsd.aggregate.analyse_aggregate_query` to the decomposed
+     aggregate engine's specs; the per-world answer is read off the
+     aggregate state exactly like a plain aggregate distribution.
+
+2. The world function's contributions run through the
+   :class:`~repro.wsd.aggregate.DecomposedAggregator` — per-cluster local
+   enumeration combined by sparse convolution — yielding the exact joint
+   distribution over grouping answers.  Each distinct answer fingerprint is
+   one world group; its probability mass is the summed mapping mass (the
+   same exactness as ``DTreeEngine``-evaluated DNFs: cluster-local
+   enumeration over only the touched components, never the world joint).
+
+3. Per-group answers come from *conditioning on the group event inside the
+   same convolution*: the main query's row-presence conditions (symbolic
+   mains) or its own world function (aggregate mains) join the grouping
+   contributions in one aggregator run, so every joint mapping carries
+   (presence / main answer, group fingerprint) simultaneously.  ``possible``
+   collects the rows present in *some* mapping of the group, ``certain`` the
+   rows present in *all* of them — zero-mass states are retained by the
+   aggregator, so the logical readings still see zero-probability worlds,
+   exactly like the explicit backend.
+
+Shapes outside the two compilers (ORDER BY / LIMIT mains, non-aggregate
+subqueries, ...) raise :class:`GroupingUnsupportedError`; the executor counts
+the escape in :attr:`~repro.wsd.execute.WsdExecutionStats.group_fallbacks`
+and answers through the guarded component-joint grouping instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..errors import ReproError
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..sqlparser.ast_nodes import Query, SelectQuery
+from .aggregate import (
+    AggregatePlan,
+    Contribution,
+    DecomposedAggregator,
+    _CountSpec,
+    _ExistsSpec,
+    analyse_aggregate_query,
+    plan_contributions,
+)
+
+__all__ = [
+    "GroupingUnsupportedError",
+    "WorldFunction",
+    "WorldGroup",
+    "compile_world_function",
+    "evaluate_group_worlds",
+]
+
+
+class GroupingUnsupportedError(ReproError):
+    """The native grouping engine cannot answer this shape (caller falls
+    back to the guarded component-joint grouping and counts the escape)."""
+
+
+#: Key-tuple namespaces: one world function's aggregator keys never collide
+#: with another's inside a combined run.
+GROUPING_TAG = "~group"
+MAIN_TAG = "~main"
+PRESENCE_TAG = "~present"
+
+
+@dataclass
+class WorldFunction:
+    """A query compiled to a finite description of its per-world answer.
+
+    ``specs`` / ``contributions`` feed the decomposed aggregator; ``decode``
+    maps one joint mapping (key -> state, this function's spec slots starting
+    at *offset*) back to the concrete answer rows of that world class.
+    ``constant_rows`` are rows present in every world (no contributions).
+    """
+
+    tag: str
+    schema: Schema
+    specs: list
+    contributions: list[Contribution]
+    constant_rows: list[tuple]
+    decode_states: Callable[[dict[tuple, tuple], int], list[tuple]]
+
+    def arity(self) -> int:
+        return len(self.specs)
+
+    def decode(self, mapping: dict[tuple, tuple], offset: int = 0
+               ) -> list[tuple]:
+        """The answer rows of one joint mapping (bag, canonical order)."""
+        rows = list(self.constant_rows)
+        rows.extend(self.decode_states(mapping, offset))
+        rows.sort(key=repr)
+        return rows
+
+
+def compile_world_function(executor, working, query: Query, tag: str,
+                           items: Optional[list[tuple[str, str]]] = None):
+    """Compile *query* into a :class:`WorldFunction` over *working*.
+
+    Resolving the query's FROM clause may extend *working* with transient
+    relations (derived tables); the possibly-extended decomposition is
+    returned alongside the function.  Raises
+    :class:`GroupingUnsupportedError` when neither compiler covers the
+    query's shape.
+    """
+    if not isinstance(query, SelectQuery):
+        raise GroupingUnsupportedError(
+            f"cannot compile a {type(query).__name__} as a world function")
+    if not executor._needs_component_joint(query):
+        return _compile_symbolic(executor, working, query, tag, items)
+    return _compile_aggregate(executor, working, query, tag, items)
+
+
+def _compile_symbolic(executor, working, query: SelectQuery, tag: str,
+                      items: Optional[list[tuple[str, str]]]):
+    """Plain selects: one count (bag) or exists (distinct) spec per answer
+    row, keyed by the row itself."""
+    if items is None:
+        working, items = executor._resolve_from(working, query.from_clause)
+    schema, entries = executor._symbolic_entries(working, query, items)
+    schema = schema.without_qualifiers()
+    constant: list[tuple] = []
+    contributions: list[Contribution] = []
+    distinct = bool(query.distinct)
+    # Bag semantics count the copies of each answer row (a count(*) state
+    # per row key); distinct semantics only need presence.
+    spec = _ExistsSpec() if distinct else _CountSpec(count_star=True)
+    if distinct:
+        merged: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for row, conditions in entries:
+            if row not in merged:
+                merged[row] = []
+                order.append(row)
+            merged[row].extend(conditions)
+        entries = [(row, merged[row]) for row in order]
+    for row, conditions in entries:
+        if any(condition.is_true() for condition in conditions):
+            constant.append(row)
+            continue
+        for condition in conditions:
+            contributions.append(
+                Contribution((tag, row), condition, (spec.lift(None),)))
+
+    def decode_states(mapping: dict[tuple, tuple], offset: int) -> list[tuple]:
+        rows: list[tuple] = []
+        for key, state in mapping.items():
+            if key[0] != tag:
+                continue
+            value = state[offset]
+            if distinct:
+                if value:
+                    rows.append(key[1])
+            else:
+                rows.extend([key[1]] * value)
+        return rows
+
+    return working, WorldFunction(tag, schema, [spec], contributions,
+                                  constant, decode_states)
+
+
+def _compile_aggregate(executor, working, query: SelectQuery, tag: str,
+                       items: Optional[list[tuple[str, str]]]):
+    """Aggregate / GROUP BY / HAVING selects via the decomposed aggregate
+    plan: the per-world answer is a deterministic function of the state."""
+    plan = analyse_aggregate_query(query)
+    if plan is None or plan.kind != "aggregate":
+        raise GroupingUnsupportedError(
+            "this query shape has no native world-function compilation "
+            "(aggregate analysis refused it)")
+    if items is None:
+        working, items = executor._resolve_from(working, query.from_clause)
+    joined = executor._join_sources(working, items, query.where)
+    specs = [_ExistsSpec()] + plan.specs
+    contributions = plan_contributions(plan, joined,
+                                       wrap_key=lambda key: (tag, key))
+    schema = Schema([Column(name) for name in plan.output_names()])
+    arity = len(specs)
+
+    def decode_states(mapping: dict[tuple, tuple], offset: int) -> list[tuple]:
+        return _decode_aggregate_rows(plan, mapping, tag, offset, arity)
+
+    return working, WorldFunction(tag, schema, specs, contributions, [],
+                                  decode_states)
+
+
+def _decode_aggregate_rows(plan: AggregatePlan, mapping: dict[tuple, tuple],
+                           tag: str, offset: int, arity: int) -> list[tuple]:
+    """The per-world answer rows of one joint mapping: un-namespace this
+    function's keys, slice its spec slots, and reuse the plan's shared row
+    construction (:meth:`AggregatePlan.answer_rows`)."""
+    states = {key[1]: state[offset:offset + arity]
+              for key, state in mapping.items() if key[0] == tag}
+    return plan.answer_rows(states)
+
+
+# -- group evaluation ----------------------------------------------------------------------
+
+
+@dataclass
+class WorldGroup:
+    """One world group: its answer fingerprint, mass and collected answer."""
+
+    fingerprint: tuple
+    mass: float
+    relation: Relation
+
+
+def evaluate_group_worlds(executor, working, query: SelectQuery,
+                          items: list[tuple[str, str]]) -> list[WorldGroup]:
+    """Native ``group worlds by``: the per-group collected answers.
+
+    *items* is the main query's already-resolved FROM; the grouping
+    subquery's FROM is resolved here (both run against *working*, i.e. after
+    ``assert`` conditioning).  Raises :class:`GroupingUnsupportedError` when
+    either query falls outside the native compilers, and
+    :class:`~repro.wsd.aggregate.AggregateBudgetExceededError` when the
+    joint state space exceeds the engine's budget — the executor counts both
+    escapes and re-routes to the guarded component-joint grouping.
+    """
+    from .execute import _strip_world_clauses
+
+    quantifier = query.quantifier or "possible"
+    grouping_query = query.group_worlds_by.query
+    working, group_fn = compile_world_function(
+        executor, working, grouping_query, GROUPING_TAG)
+    main_core = _strip_world_clauses(query, items=items)
+    symbolic_main = not executor._needs_component_joint(main_core)
+    working, main_fn = compile_world_function(
+        executor, working, main_core, MAIN_TAG, items=items)
+    collector = _group_symbolic_main if symbolic_main else _group_joint_main
+    return collector(executor, working, quantifier, group_fn, main_fn)
+
+
+def _aggregator(executor, working, specs) -> DecomposedAggregator:
+    return DecomposedAggregator(working.components, specs,
+                                stats=executor.aggregate_stats)
+
+
+def _group_masses(executor, working, group_fn: WorldFunction
+                  ) -> tuple[list[tuple], dict[tuple, float]]:
+    """``(first-seen order, fingerprint -> mass)`` of the world groups."""
+    engine = _aggregator(executor, working, group_fn.specs)
+    joint = engine.answer_distribution(group_fn.contributions)
+    order: list[tuple] = []
+    masses: dict[tuple, float] = {}
+    for mapping, mass in joint.items():
+        fingerprint = tuple(group_fn.decode(dict(mapping)))
+        if fingerprint not in masses:
+            masses[fingerprint] = 0.0
+            order.append(fingerprint)
+        masses[fingerprint] += mass
+    return order, masses
+
+
+def _group_symbolic_main(executor, working, quantifier: str,
+                         group_fn: WorldFunction, main_fn: WorldFunction
+                         ) -> list[WorldGroup]:
+    """Symbolic main query: per-answer-row presence joined with the group
+    event, one marginal convolution per conditional row.
+
+    The joint of *every* row's presence with the grouping answer would be
+    exponential in the row count; each row only needs its own marginal
+    (presence, group) joint, so rows run independently — the aggregator's
+    cluster structure keeps each run linear in the untouched components.
+    """
+    order, masses = _group_masses(executor, working, group_fn)
+    # Presence DNF per distinct answer row (constant rows hold everywhere).
+    presence: dict[tuple, list] = {}
+    row_order: list[tuple] = []
+    constant: set[tuple] = set()
+    for row in main_fn.constant_rows:
+        if row not in constant:
+            constant.add(row)
+            row_order.append(row)
+    for contribution in main_fn.contributions:
+        row = contribution.key[1]
+        if row in constant:
+            continue
+        if row not in presence:
+            presence[row] = []
+            row_order.append(row)
+        presence[row].append(contribution.condition)
+    possible: dict[tuple, set[tuple]] = {fp: set(constant) for fp in order}
+    certain: dict[tuple, set[tuple]] = {fp: set(constant) for fp in order}
+    exists = _ExistsSpec()
+    specs = [exists] + group_fn.specs
+    for row, conditions in presence.items():
+        contributions = [
+            Contribution((PRESENCE_TAG,), condition, (True,) + tuple(
+                spec.identity for spec in group_fn.specs))
+            for condition in conditions]
+        contributions += [
+            Contribution(c.key, c.condition, (exists.identity,) + c.delta)
+            for c in group_fn.contributions]
+        engine = _aggregator(executor, working, specs)
+        joint = engine.answer_distribution(contributions)
+        seen_present: dict[tuple, bool] = {}
+        seen_all: dict[tuple, bool] = {}
+        for mapping, _mass in joint.items():
+            states = dict(mapping)
+            present = bool(states.get((PRESENCE_TAG,), (False,))[0])
+            fingerprint = tuple(group_fn.decode(states, offset=1))
+            seen_present[fingerprint] = seen_present.get(fingerprint,
+                                                         False) or present
+            seen_all[fingerprint] = seen_all.get(fingerprint, True) and present
+        for fingerprint in order:
+            if seen_present.get(fingerprint, False):
+                possible[fingerprint].add(row)
+            if seen_all.get(fingerprint, False):
+                certain[fingerprint].add(row)
+    collected = possible if quantifier == "possible" else certain
+    return _build_groups(order, masses, collected, row_order, main_fn.schema,
+                         quantifier)
+
+
+def _group_joint_main(executor, working, quantifier: str,
+                      group_fn: WorldFunction, main_fn: WorldFunction
+                      ) -> list[WorldGroup]:
+    """Aggregate-shaped main query: one combined convolution carries (main
+    answer, grouping answer) per joint mapping."""
+    specs = main_fn.specs + group_fn.specs
+    main_identity = tuple(spec.identity for spec in main_fn.specs)
+    group_identity = tuple(spec.identity for spec in group_fn.specs)
+    contributions = [
+        Contribution(c.key, c.condition, c.delta + group_identity)
+        for c in main_fn.contributions]
+    contributions += [
+        Contribution(c.key, c.condition, main_identity + c.delta)
+        for c in group_fn.contributions]
+    engine = _aggregator(executor, working, specs)
+    joint = engine.answer_distribution(contributions)
+    order: list[tuple] = []
+    masses: dict[tuple, float] = {}
+    possible: dict[tuple, dict[tuple, None]] = {}
+    certain: dict[tuple, set[tuple]] = {}
+    for mapping, mass in joint.items():
+        states = dict(mapping)
+        fingerprint = tuple(
+            group_fn.decode(states, offset=len(main_fn.specs)))
+        # Dedupe while keeping decode()'s canonical order — a plain set
+        # would make the answer-row order hash-seed dependent.
+        answer_rows = list(dict.fromkeys(main_fn.decode(states, offset=0)))
+        row_set = set(answer_rows)
+        if fingerprint not in masses:
+            masses[fingerprint] = 0.0
+            order.append(fingerprint)
+            possible[fingerprint] = {}
+            certain[fingerprint] = set(row_set)
+        masses[fingerprint] += mass
+        for row in answer_rows:
+            possible[fingerprint].setdefault(row, None)
+        certain[fingerprint] &= row_set
+    row_order_by_group = {fp: list(possible[fp]) for fp in order}
+    groups: list[WorldGroup] = []
+    for fp in order:
+        if quantifier == "possible":
+            rows = row_order_by_group[fp]
+        else:
+            rows = [row for row in row_order_by_group[fp]
+                    if row in certain[fp]]
+        relation = Relation(main_fn.schema, [], coerce=False)
+        relation.rows = rows
+        groups.append(WorldGroup(fp, masses[fp], relation))
+    return groups
+
+
+def _build_groups(order: Sequence[tuple], masses: dict[tuple, float],
+                  collected: dict[tuple, set[tuple]],
+                  row_order: Sequence[tuple], schema: Schema,
+                  quantifier: str) -> list[WorldGroup]:
+    if quantifier not in ("possible", "certain"):
+        from ..errors import AnalysisError
+
+        raise AnalysisError(f"unknown quantifier {quantifier!r}")
+    groups: list[WorldGroup] = []
+    for fp in order:
+        rows = [row for row in row_order if row in collected[fp]]
+        relation = Relation(schema, [], coerce=False)
+        relation.rows = rows
+        groups.append(WorldGroup(fp, masses[fp], relation))
+    return groups

@@ -1,0 +1,118 @@
+"""Regression tests: generation-keyed grounding-cache invalidation under DML.
+
+The wsd backend memoises symbolic groundings per relation, keyed on the
+decomposition's ``generation`` counter (``WSDExecutor._ground``).  Any
+in-place DML must bump the generation so later queries re-ground; any
+*derived* decomposition (install, ``assert``, decorations) gets a fresh
+generation at construction.  A stale cache entry would silently serve rows
+from a previous database state — these tests interleave every DML statement
+kind with repeated queries and assert both the answers and the hit/miss
+accounting, so a future executor refactor cannot re-introduce staleness.
+"""
+
+from __future__ import annotations
+
+from repro import MayBMS
+
+
+def fresh_session() -> MayBMS:
+    db = MayBMS(backend="wsd")
+    db.create_table("R", ["K", "V", "W"],
+                    rows=[(0, 1, 1), (0, 2, 1), (1, 3, 2), (1, 4, 2)])
+    return db
+
+
+def rows(db: MayBMS, query: str) -> list[tuple]:
+    return sorted(db.execute(query).rows())
+
+
+class TestGenerationKeyedCache:
+    def test_repeated_queries_hit_only_while_unchanged(self):
+        db = fresh_session()
+        query = "select possible V from R;"
+        db.execute(query)
+        misses = db.backend.stats.ground_cache_misses
+        hits = db.backend.stats.ground_cache_hits
+        db.execute(query)
+        db.execute(query)
+        assert db.backend.stats.ground_cache_misses == misses
+        assert db.backend.stats.ground_cache_hits == hits + 2
+
+    def test_insert_invalidates_and_answers_fresh(self):
+        db = fresh_session()
+        assert rows(db, "select possible V from R;") == \
+            [(1,), (2,), (3,), (4,)]
+        generation = db.decomposition.generation
+        db.execute("insert into R values (2, 9, 1);")
+        assert db.decomposition.generation != generation
+        assert (9,) in rows(db, "select possible V from R;")
+        # The fresh generation missed, then re-cached.
+        misses = db.backend.stats.ground_cache_misses
+        db.execute("select possible V from R;")
+        assert db.backend.stats.ground_cache_misses == misses
+
+    def test_delete_and_update_invalidate(self):
+        db = fresh_session()
+        db.execute("create table I as select K, V from R repair by key K;")
+        assert rows(db, "select possible V from I;") == \
+            [(1,), (2,), (3,), (4,)]
+        db.execute("delete from R where V = 1;")
+        db.execute("update R set V = 30 where V = 3;")
+        # I was derived before the DML and must be unaffected...
+        assert rows(db, "select possible V from I;") == \
+            [(1,), (2,), (3,), (4,)]
+        # ...while R reflects both statements immediately.
+        assert rows(db, "select possible V from R;") == [(2,), (4,), (30,)]
+        # Re-deriving I picks up the new base state.
+        db.execute("create table I as select K, V from R repair by key K;")
+        assert rows(db, "select possible V from I;") == [(2,), (4,), (30,)]
+
+    def test_interleaved_dml_never_serves_stale_answers(self):
+        """The satellite scenario: DML (insert / delete / assert-derivation)
+        interleaved with repeated queries; every answer reflects the current
+        state, hits happen only between unchanged-generation repeats."""
+        db = fresh_session()
+        query = "select possible V from R;"
+        expected = {1, 2, 3, 4}
+        assert {row[0] for row in rows(db, query)} == expected
+        for value in (10, 11, 12):
+            db.execute(f"insert into R values (2, {value}, 1);")
+            expected.add(value)
+            before_hits = db.backend.stats.ground_cache_hits
+            before_misses = db.backend.stats.ground_cache_misses
+            assert {row[0] for row in rows(db, query)} == expected
+            assert db.backend.stats.ground_cache_misses > before_misses, \
+                "DML must invalidate the grounding cache"
+            # An immediate repeat hits the refreshed entry.
+            assert {row[0] for row in rows(db, query)} == expected
+            assert db.backend.stats.ground_cache_hits > before_hits
+        db.execute("delete from R where V >= 10;")
+        assert {row[0] for row in rows(db, query)} == {1, 2, 3, 4}
+
+    def test_assert_conditioning_does_not_poison_the_cache(self):
+        """A query-local ``assert`` derives a *conditioned* working copy; its
+        groundings must never be served for the unconditioned session state
+        (derived decompositions carry fresh generations)."""
+        db = fresh_session()
+        db.execute("create table I as select K, V from R repair by key K;")
+        unconditioned = rows(db, "select possible V from I;")
+        conditioned = rows(
+            db, "select possible V from I "
+            "assert not exists(select * from I where V = 1);")
+        assert (1,) in unconditioned
+        assert (1,) not in conditioned
+        # Re-running the unconditioned query still sees the full state.
+        assert rows(db, "select possible V from I;") == unconditioned
+
+    def test_cross_statement_sharing_respects_generations(self):
+        """The cache is shared across executors (one per statement) through
+        the backend; generations key it, so two different derived states
+        never collide even within one statement sequence."""
+        db = fresh_session()
+        db.execute("create table I as select K, V from R repair by key K;")
+        first = rows(db, "select conf, V from I;")
+        db.execute("insert into R values (3, 7, 1);")
+        db.execute("create table I as select K, V from R repair by key K;")
+        second = rows(db, "select conf, V from I;")
+        assert first != second
+        assert any(row[0] == 7 for row in second)

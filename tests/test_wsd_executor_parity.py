@@ -120,7 +120,55 @@ AGGREGATE_CORPUS = [
     "where (select sum(B) from I) > 40 and (select min(B) from I) >= 10;",
 ]
 
-QUERY_CORPUS = QUERY_CORPUS + AGGREGATE_CORPUS
+#: Grouping / compound corpus: every query below is answered by the native
+#: world-grouping engine (:mod:`repro.wsd.grouping`) or the native
+#: set-operation combination (:mod:`repro.wsd.setops`) — never by explicit
+#: fallback, never by a counted group fallback;
+#: test_grouping_corpus_is_native asserts the strategy counters.
+GROUPING_CORPUS = [
+    # group worlds by an aggregate value (the whale-scenario shape).
+    "select possible B from I group worlds by (select sum(B) from I);",
+    "select certain B from I group worlds by (select sum(B) from I);",
+    "select B from I group worlds by (select sum(B) from I);",
+    "select certain B from I group worlds by (select avg(B) from I);",
+    "select possible B from I where B > 12 "
+    "group worlds by (select max(B) from I);",
+    # group worlds by a relational answer (symbolic world function).
+    "select possible A, B from I "
+    "group worlds by (select C from I where A = 'a1');",
+    "select certain C from I "
+    "group worlds by (select count(*) from I where C = 'c1');",
+    "select possible B from I group worlds by (select distinct C from I);",
+    "select possible s.E from S s "
+    "group worlds by (select s2.E from S s2, I i where s2.C = i.C);",
+    # aggregate-shaped main queries: one combined convolution carries
+    # (main answer, grouping answer) jointly.
+    "select possible A, count(*) from I group by A "
+    "group worlds by (select sum(B) from I);",
+    "select count(*) from I group worlds by (select B from I where A = 'a1');",
+    "select possible A, sum(B) from I group by A "
+    "group worlds by (select count(*) from I where B > 12);",
+    # assert conditions the decomposition before grouping partitions it.
+    "select possible B from I assert exists(select * from I where B > 12) "
+    "group worlds by (select sum(B) from I);",
+    # Compound queries: presence-condition algebra, set and bag semantics.
+    "select B from I where B > 12 union select B from I where B < 20;",
+    "select B from I union all select B from I where C = 'c1';",
+    "select B from I intersect select B from I where C = 'c1';",
+    "select B from I except select B from I where C = 'c1';",
+    "select B from I except all select B from I where C = 'c1';",
+    "select B from I intersect all select B from I;",
+    "select A from I union select E from S;",
+    "select B from I where B > 14 union select B from I where B < 12 "
+    "union all select B from I where C = 'c1';",
+    # Compound derived tables feed the conf / possible tiers unchanged.
+    "select conf, x.B from "
+    "(select B from I where B > 12 union select B from I where B < 14) x;",
+    "select possible x.B from "
+    "(select B from I union all select B from I) x;",
+]
+
+QUERY_CORPUS = QUERY_CORPUS + AGGREGATE_CORPUS + GROUPING_CORPUS
 
 
 @contextlib.contextmanager
@@ -214,6 +262,8 @@ def test_backends_agree(setup, query):
         f"confidence fell back to joint enumeration: {query}"
     assert wsd.backend.stats.aggregate_fallbacks == 0, \
         f"aggregate engine fell back to joint enumeration: {query}"
+    assert wsd.backend.stats.group_fallbacks == 0, \
+        f"grouping/set-op engine fell back to joint enumeration: {query}"
     if expected.is_rows():
         assert actual.is_rows(), f"result kind diverged for: {query}"
         assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
@@ -267,6 +317,46 @@ def test_aggregate_corpus_agrees_with_enumerate_baseline(query):
     actual = convolution.execute(query)
     assert enumerate_mode.backend.stats.aggregate == 0
     assert convolution.backend.stats.aggregate >= 1
+    if expected.is_rows():
+        assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
+    else:
+        assert_distributions_equal(wsd_distribution(actual),
+                                   wsd_distribution(expected), query)
+
+
+@pytest.mark.parametrize("setup", [WEIGHTED_SETUP, UNWEIGHTED_SETUP],
+                         ids=["weighted", "unweighted"])
+@pytest.mark.parametrize("query", GROUPING_CORPUS)
+def test_grouping_corpus_is_native(setup, query):
+    """The grouping / compound corpus never enumerates: the native grouping
+    or set-operation engine answers, with zero counted fallbacks."""
+    _, wsd = build_sessions(setup)
+    with forbid_world_enumeration():
+        wsd.execute(query)
+    stats = wsd.backend.stats
+    assert stats.grouping + stats.setops >= 1, \
+        f"query skipped the grouping/set-op engines: {query}"
+    assert stats.component_joint == 0, \
+        f"query enumerated component joints: {query}"
+    assert stats.group_fallbacks == 0, \
+        f"grouping/set-op engine fell back on: {query}"
+    assert stats.fallback == 0, \
+        f"query fell back to world materialisation: {query}"
+
+
+@pytest.mark.parametrize("query", GROUPING_CORPUS)
+def test_grouping_corpus_agrees_with_enumerate_baseline(query):
+    """``grouping_engine="enumerate"`` re-enables the guarded component-joint
+    grouping path; both modes must produce identical answers on the corpus."""
+    _, native = build_sessions(WEIGHTED_SETUP)
+    _, enumerate_mode = build_sessions(WEIGHTED_SETUP)
+    enumerate_mode.backend.grouping_engine = "enumerate"
+    expected = enumerate_mode.execute(query)
+    actual = native.execute(query)
+    assert enumerate_mode.backend.stats.grouping == 0
+    assert enumerate_mode.backend.stats.setops == 0
+    assert enumerate_mode.backend.stats.group_fallbacks == 0
+    assert native.backend.stats.grouping + native.backend.stats.setops >= 1
     if expected.is_rows():
         assert canonical_rows(actual.rows()) == canonical_rows(expected.rows())
     else:
@@ -352,6 +442,32 @@ class TestSessionStateParity:
             assert canonical_rows(wsd.execute(query).rows()) == \
                 canonical_rows(explicit.execute(query).rows()), query
 
+    def test_group_worlds_by_under_create_table_as(self):
+        """CREATE TABLE AS over ``group worlds by`` installs each world's
+        group answer (previously a bare unsupported error on the wsd
+        backend), matching the explicit backend's materialisation."""
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        statement = ("create table G as select possible B from I "
+                     "group worlds by (select sum(B) from I);")
+        explicit.execute(statement)
+        wsd.execute(statement)
+        for query in ["select conf, B from G;",
+                      "select possible B from G;",
+                      "select certain B from G;"]:
+            assert canonical_rows(wsd.execute(query).rows()) == \
+                canonical_rows(explicit.execute(query).rows()), query
+
+    def test_compound_under_create_table_as(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        statement = ("create table U as select B from I where B > 12 "
+                     "union select B from I where C = 'c1';")
+        explicit.execute(statement)
+        with forbid_world_enumeration():
+            wsd.execute(statement)
+        query = "select conf, B from U;"
+        assert canonical_rows(wsd.execute(query).rows()) == \
+            canonical_rows(explicit.execute(query).rows())
+
     def test_views_evaluate_identically(self):
         explicit, wsd = build_sessions(WEIGHTED_SETUP)
         view = "create view V as select A, B from I where B >= 20;"
@@ -385,12 +501,63 @@ class TestWsdBackendBasics:
         # The answer is certain, so the compact form needs exactly one world.
         assert result.answer_decomposition().world_count() == 1
 
-    def test_group_worlds_by_falls_back_explicitly(self):
+    def test_group_worlds_by_is_native(self):
         _, wsd = build_sessions(WEIGHTED_SETUP)
-        result = wsd.execute(
-            "select possible B from I group worlds by (select sum(B) from I);")
+        with forbid_world_enumeration():
+            result = wsd.execute(
+                "select possible B from I "
+                "group worlds by (select sum(B) from I);")
         assert result.is_world_rows()
-        assert wsd.backend.stats.fallback == 1
+        assert wsd.backend.stats.fallback == 0
+        assert wsd.backend.stats.group_fallbacks == 0
+        assert wsd.backend.stats.grouping == 1
+        # One (mass, answer) pair per world group, masses summing to one.
+        assert sum(answer.probability
+                   for answer in result.world_answers) == pytest.approx(1.0)
+
+    def test_ordered_compound_preserves_row_order(self):
+        """A compound with ORDER BY (no LIMIT) must come back *ordered* —
+        the native entry algebra carries no row order, so ordered compounds
+        take the guarded per-world path (counted, never silent)."""
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        query = ("select B from R where B > 12 union "
+                 "select B from R where B < 15 order by B desc;")
+        expected = explicit.execute(query)
+        actual = wsd.execute(query)
+        # R is certain, so there is exactly one world / one answer, and the
+        # descending order must match the explicit backend row for row.
+        assert len(actual.world_answers) == 1
+        assert list(actual.world_answers[0].relation.rows) == \
+            list(expected.world_answers[0].relation.rows)
+        assert [row[0] for row in actual.world_answers[0].relation.rows] == \
+            sorted([row[0] for row in actual.world_answers[0].relation.rows],
+                   reverse=True)
+        assert wsd.backend.stats.group_fallbacks == 1
+        assert wsd.backend.stats.fallback == 0
+
+    def test_limit_compound_escapes_guarded(self):
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        query = ("select B from I union select B from I where C = 'c1' "
+                 "order by B desc limit 2;")
+        expected = explicit.execute(query)
+        actual = wsd.execute(query)
+        assert wsd.backend.stats.group_fallbacks == 1
+        assert wsd.backend.stats.fallback == 0
+        assert_distributions_equal(wsd_distribution(actual),
+                                   explicit_distribution(expected), query)
+
+    def test_unsupported_grouping_shapes_escape_guarded(self):
+        """A main query outside the native compilers still answers — through
+        the guarded component-joint grouping, counted in group_fallbacks."""
+        explicit, wsd = build_sessions(WEIGHTED_SETUP)
+        query = ("select possible B from I "
+                 "group worlds by (select sum(B) from I) order by B;")
+        expected = explicit.execute(query)
+        actual = wsd.execute(query)
+        assert wsd.backend.stats.group_fallbacks == 1
+        assert wsd.backend.stats.fallback == 0
+        assert_distributions_equal(wsd_distribution(actual),
+                                   explicit_distribution(expected), query)
 
     def test_dml_on_complete_relations(self):
         wsd = MayBMS(backend="wsd")
