@@ -138,6 +138,26 @@ def scale4_grouping_parameters() -> dict:
             "joint_limit": None, "payload_domain": 6}
 
 
+def scale5_serving_parameters() -> dict:
+    """Parameters for the SCALE-5 serving (prepared statements) sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation);
+    ``options`` is deliberately high — grounding work per template tuple is
+    linear in the alternative count, so the compile-once path (parse +
+    shape analysis + symbolic grounding) dominates cold execution and the
+    prepared/cold ratio measures what serving actually amortises.
+    ``threads`` are the read-scaling points; ``reads_per_thread`` /
+    ``cold_repetitions`` / ``warm_repetitions`` size the timing samples.
+    """
+    if BENCH_SMOKE:
+        return {"groups": (4, 8), "options": 12, "threads": (1, 2),
+                "reads_per_thread": 5, "cold_repetitions": 5,
+                "warm_repetitions": 25, "writer_rounds": 4}
+    return {"groups": (10, 20, 40), "options": 12, "threads": (1, 2, 4, 8),
+            "reads_per_thread": 40, "cold_repetitions": 9,
+            "warm_repetitions": 80, "writer_rounds": 10}
+
+
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print a small aligned table (the benchmark's reproduction of a figure)."""
     rendered = [[str(cell) for cell in row] for row in rows]

@@ -14,6 +14,11 @@ MayBMS system"* (Antova, Koch, Olteanu - VLDB 2007).  It provides:
   :class:`~repro.core.session.MayBMS` session — open it with
   ``MayBMS(backend="wsd")`` to run on the compact representation
   (:mod:`repro.core`),
+* the concurrent serving layer (:mod:`repro.serving`): prepared statements
+  with ``?`` parameter binding, an LRU statement cache behind
+  ``session.execute``, a generation-aware read/write lock making one
+  session safe for many threads, and a JSON/HTTP front end
+  (``python -m repro serve``),
 * the paper's datasets (:mod:`repro.datasets`), data-cleaning and
   moving-object toolkits (:mod:`repro.cleaning`, :mod:`repro.tracking`) and
   synthetic workload generators (:mod:`repro.workloads`).
@@ -51,6 +56,7 @@ from .relational.catalog import Catalog
 from .relational.relation import Relation
 from .relational.schema import Column, Schema
 from .relational.types import SqlType
+from .serving import GenerationRWLock, MayBMSServer, PreparedStatement
 from .worldset.world import World
 from .worldset.worldset import WorldSet
 
@@ -66,8 +72,11 @@ __all__ = [
     "ExecutionError",
     "ExplicitBackend",
     "ExpressionError",
+    "GenerationRWLock",
     "MayBMS",
+    "MayBMSServer",
     "ParseError",
+    "PreparedStatement",
     "ProbabilityError",
     "Relation",
     "ReproError",

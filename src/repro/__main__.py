@@ -1,4 +1,4 @@
-"""A minimal interactive I-SQL shell.
+"""A minimal interactive I-SQL shell and the serving front end.
 
 Run ``python -m repro`` (or the installed ``isql`` script) to get a prompt
 against a fresh MayBMS instance preloaded with the paper's Figure 1 database.
@@ -8,10 +8,19 @@ Statements end with ``;``.  Meta commands start with a dot:
 ``.tables``          list tables and views
 ``.load figure1``    reload the Figure 1 database (also: ``figure3``, ``figure5``)
 ``.quit``            leave the shell
+
+``python -m repro serve`` starts the JSON-over-HTTP server instead (see
+:mod:`repro.serving.server`)::
+
+    python -m repro serve --backend wsd --host 127.0.0.1 --port 8850
+
+One shared session (preloaded like the shell) serves every request thread;
+POST ``{"sql": ..., "params": [...]}`` to ``/query``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from .core.session import MayBMS
@@ -27,17 +36,49 @@ The Figure 1 database (relations R and S) is preloaded.
 """
 
 
-def _load(name: str) -> MayBMS:
+def _load(name: str, backend: str = "explicit") -> MayBMS:
     """Build a fresh session preloaded with one of the paper's datasets."""
     if name == "figure1":
-        return MayBMS(figure1_database())
+        return MayBMS(figure1_database(), backend=backend)
     if name == "figure3":
+        if backend != "explicit":
+            raise ReproError(
+                "the figure3 dataset is an explicit world-set; "
+                "serve it with --backend explicit")
         db = MayBMS()
         db.world_set = figure3_whale_worlds()
         return db
     if name == "figure5":
-        return MayBMS({"R": cleaning_relation_r()})
+        return MayBMS({"R": cleaning_relation_r()}, backend=backend)
     raise ReproError(f"unknown dataset {name!r}; try figure1, figure3 or figure5")
+
+
+def _serve(argv: list[str]) -> int:
+    """The ``python -m repro serve`` entry point."""
+    from .serving.server import MayBMSServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve one MayBMS session over JSON/HTTP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8850)
+    parser.add_argument("--backend", choices=("explicit", "wsd"),
+                        default="wsd")
+    parser.add_argument("--dataset",
+                        choices=("figure1", "figure3", "figure5"),
+                        default="figure1")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    options = parser.parse_args(argv)
+    try:
+        session = _load(options.dataset, backend=options.backend)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    server = MayBMSServer(session, host=options.host, port=options.port,
+                          verbose=options.verbose)
+    server.serve()
+    return 0
 
 
 def _handle_meta(command: str, db: MayBMS) -> MayBMS | None:
@@ -63,6 +104,8 @@ def _handle_meta(command: str, db: MayBMS) -> MayBMS | None:
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``isql`` shell."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     db = _load("figure1")
     if argv:
         # Non-interactive: treat the arguments as a single script.

@@ -19,6 +19,7 @@ the differential test suite (``tests/test_wsd_executor_parity.py``) does.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 from ..errors import (
@@ -117,7 +118,16 @@ class ExecutionBackend:
 
     # -- statement execution --------------------------------------------------------------
 
-    def execute_statement(self, statement: Statement) -> StatementResult:
+    def execute_statement(self, statement: Statement,
+                          prepared_plans: dict | None = None
+                          ) -> StatementResult:
+        """Execute one parsed statement.
+
+        *prepared_plans* is the per-thread compiled-plan cache of a
+        :class:`~repro.serving.prepared.PreparedStatement` (query id ->
+        analysed aggregate/grouping plan); backends that compile plans pass
+        it down so repeated executions skip shape analysis.
+        """
         raise NotImplementedError
 
     # -- view DDL (shared: views live in the backend-agnostic registry) -------------------
@@ -224,7 +234,11 @@ class ExplicitBackend(ExecutionBackend):
 
     # -- statement execution --------------------------------------------------------------------
 
-    def execute_statement(self, statement: Statement) -> StatementResult:
+    def execute_statement(self, statement: Statement,
+                          prepared_plans: dict | None = None
+                          ) -> StatementResult:
+        # The explicit backend plans per world from scratch (star expansion
+        # needs each world's catalog), so prepared plans do not apply.
         if isinstance(statement, (SelectQuery, CompoundQuery)):
             return self._execute_query(statement)
         if isinstance(statement, CreateTableAs):
@@ -515,6 +529,10 @@ class WsdBackend(ExecutionBackend):
         #: (decomposition generation, relation name); see
         #: :meth:`repro.wsd.execute.WSDExecutor._ground`.
         self._ground_cache: dict = {}
+        #: Serialises stats merging: concurrent prepared reads finish in any
+        #: order and their counters accumulate under this mutex (the answers
+        #: themselves are protected by the session's read/write lock).
+        self._stats_lock = threading.Lock()
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -581,11 +599,13 @@ class WsdBackend(ExecutionBackend):
 
     # -- statement execution --------------------------------------------------------------------
 
-    def execute_statement(self, statement: Statement) -> StatementResult:
+    def execute_statement(self, statement: Statement,
+                          prepared_plans: dict | None = None
+                          ) -> StatementResult:
         if isinstance(statement, (SelectQuery, CompoundQuery)):
-            return self._execute_query(statement)
+            return self._execute_query(statement, prepared_plans)
         if isinstance(statement, CreateTableAs):
-            return self._execute_create_table_as(statement)
+            return self._execute_create_table_as(statement, prepared_plans)
         if isinstance(statement, CreateView):
             return self._execute_create_view(statement)
         if isinstance(statement, CreateTable):
@@ -616,22 +636,28 @@ class WsdBackend(ExecutionBackend):
 
     # -- queries -------------------------------------------------------------------------------------
 
-    def _executor(self) -> WSDExecutor:
+    def _executor(self, plan_cache: dict | None = None) -> WSDExecutor:
         return WSDExecutor(self.decomposition, self.views,
                            enumeration_limit=self.enumeration_limit,
                            confidence=self.confidence_engine,
                            aggregates=self.aggregate_engine,
                            world_grouping=self.grouping_engine,
-                           ground_cache=self._ground_cache)
+                           ground_cache=self._ground_cache,
+                           plan_cache=plan_cache)
 
-    def _execute_query(self, query: Query) -> StatementResult:
-        executor = self._executor()
-        try:
-            result = executor.evaluate_query(query)
-        finally:
+    def _merge_stats(self, executor: WSDExecutor) -> None:
+        with self._stats_lock:
             self.stats.merge(executor.stats)
             self.confidence_stats.merge(executor.confidence_stats)
             self.aggregate_stats.merge(executor.aggregate_stats)
+
+    def _execute_query(self, query: Query,
+                       plan_cache: dict | None = None) -> StatementResult:
+        executor = self._executor(plan_cache)
+        try:
+            result = executor.evaluate_query(query)
+        finally:
+            self._merge_stats(executor)
         if result.kind == "rows":
             return StatementResult(kind="rows", relation=result.relation)
         if result.kind == "wsd":
@@ -653,18 +679,17 @@ class WsdBackend(ExecutionBackend):
         return StatementResult(kind="world_rows", world_answers=answers,
                                world_set=outcome.world_set)
 
-    def _execute_create_table_as(self, statement: CreateTableAs
+    def _execute_create_table_as(self, statement: CreateTableAs,
+                                 plan_cache: dict | None = None
                                  ) -> StatementResult:
         # CREATE TABLE AS replaces an existing relation of the same name,
         # mirroring the explicit backend's materialisation semantics.
-        executor = self._executor()
+        executor = self._executor(plan_cache)
         try:
             self.decomposition = executor.evaluate_for_install(
                 statement.name, statement.query)
         finally:
-            self.stats.merge(executor.stats)
-            self.confidence_stats.merge(executor.confidence_stats)
-            self.aggregate_stats.merge(executor.aggregate_stats)
+            self._merge_stats(executor)
         return StatementResult(
             kind="command",
             message=(f"created table {statement.name} "

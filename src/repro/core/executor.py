@@ -38,7 +38,7 @@ from ..sqlparser.ast_nodes import (
     SelectQuery,
     TableRef,
 )
-from .planner import Planner, ResolvedFrom
+from .planner import Planner, ResolvedFrom, select_plan_is_world_independent
 
 __all__ = ["WorldQueryResult", "Executor", "TRANSIENT_PREFIX",
            "collect_quantifier"]
@@ -124,7 +124,15 @@ class Executor:
     def _evaluate_select(self, query: SelectQuery,
                          world_set: WorldSet) -> WorldQueryResult:
         derived, resolved_from = self._resolve_from(query.from_clause, world_set)
-        answers = [self._run_per_world(query, world, resolved_from)
+        shared_plan = None
+        if derived.worlds and select_plan_is_world_independent(query):
+            # Star-free selects compile to the same operator tree in every
+            # world: build it once and run it per world (the operators are
+            # stateless — each execute() call reads only its env).
+            shared_plan = Planner(derived.worlds[0].catalog).plan_select(
+                query, resolved_from)
+        answers = [self._run_per_world(query, world, resolved_from,
+                                       shared_plan)
                    for world in derived.worlds]
         if query.assert_condition is not None:
             derived, answers = self._apply_assert(query, derived, answers)
@@ -223,7 +231,10 @@ class Executor:
     # -- per-world evaluation ----------------------------------------------------------------------
 
     def _run_per_world(self, query: SelectQuery, world: World,
-                       resolved_from: list[ResolvedFrom]) -> Relation:
+                       resolved_from: list[ResolvedFrom],
+                       shared_plan=None) -> Relation:
+        if shared_plan is not None:
+            return shared_plan.execute(self._make_env(world))
         planner = Planner(world.catalog)
         plan = planner.plan_select(query, resolved_from)
         return plan.execute(self._make_env(world))

@@ -58,7 +58,23 @@ from ..sqlparser.ast_nodes import (
 )
 
 __all__ = ["Planner", "ResolvedFrom", "plan_select", "output_name",
-           "deduplicate_output_names"]
+           "deduplicate_output_names", "select_plan_is_world_independent"]
+
+
+def select_plan_is_world_independent(query: SelectQuery) -> bool:
+    """True when one compiled plan can serve every world of a world-set.
+
+    Plan construction consults a specific world's catalog only to expand
+    ``*`` / ``alias.*`` (and an empty select list, which behaves like
+    ``*``); every other clause compiles from the query text alone.  The
+    executor uses this to build the operator tree **once per statement**
+    instead of once per world — the explicit backend's share of the
+    serving layer's compile-once contract.
+    """
+    if not query.select_items:
+        return False
+    return not any(isinstance(item.expression, Star)
+                   for item in query.select_items)
 
 
 def output_name(item: SelectItem, position: int) -> str:

@@ -17,6 +17,13 @@ over an :class:`~repro.core.backends.ExecutionBackend`:
   / ``assert`` directly on it, never materialising worlds for the supported
   query classes.
 
+The session is also the **serving layer's** entry point
+(:mod:`repro.serving`): every statement executes under a generation-aware
+read/write lock (concurrent readers, exclusive writers), ``execute`` keeps an
+LRU of prepared statements keyed by SQL text, and :meth:`MayBMS.prepare`
+compiles a statement — with ``?`` parameter placeholders — once for repeated
+execution.
+
 Typical use::
 
     db = MayBMS()                      # or MayBMS(backend="wsd")
@@ -24,17 +31,22 @@ Typical use::
     db.insert("R", [("a1", 10, "c1", 2), ...])
     db.execute("create table I as select A, B, C from R repair by key A weight D;")
     result = db.execute("select possible sum(B) from I;")
+
+    statement = db.prepare("select conf from I where B > ?;")
+    statement.execute((12,))           # skips parse / analysis / grounding
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..errors import AnalysisError
 from ..relational.relation import Relation
 from ..relational.schema import Column
+from ..serving.locks import GenerationRWLock
+from ..serving.prepared import PreparedStatement, StatementCache, statement_is_read
 from ..sqlparser.ast_nodes import Query, Statement
-from ..sqlparser.parser import parse_statement, parse_statements
+from ..sqlparser.parser import parse_prepared, parse_statements
 from ..worldset.worldset import WorldSet
 from ..wsd.decomposition import WorldSetDecomposition
 from .backends import ExplicitBackend, WsdBackend, create_backend
@@ -46,10 +58,18 @@ __all__ = ["MayBMS"]
 class MayBMS:
     """An in-memory MayBMS instance: world-set state plus I-SQL execution."""
 
-    def __init__(self, catalog=None, backend: str = "explicit") -> None:
+    def __init__(self, catalog=None, backend: str = "explicit",
+                 statement_cache_size: int = 64) -> None:
         #: The execution backend holding all state (world-set or WSD, views,
         #: declared keys) and implementing statement execution.
         self.backend = create_backend(backend, catalog)
+        #: The session's read/write lock: prepared reads share it, DDL / DML
+        #: take it exclusively, and each completed write bumps its
+        #: generation (see :mod:`repro.serving.locks`).
+        self.lock = GenerationRWLock()
+        #: LRU of prepared statements keyed by SQL text; ``execute`` goes
+        #: through it, so repeated statements skip parsing and analysis.
+        self.statement_cache = StatementCache(statement_cache_size)
 
     # -- backend and state access ---------------------------------------------------------------
 
@@ -108,20 +128,24 @@ class MayBMS:
                      rows: Iterable[Sequence[Any]] = (),
                      primary_key: Sequence[str] | None = None) -> None:
         """Create a complete table in every current world (convenience API)."""
-        self.backend.create_table(name, columns, rows, primary_key)
+        with self.lock.write():
+            self.backend.create_table(name, columns, rows, primary_key)
 
     def register_relation(self, relation: Relation,
                           name: str | None = None) -> None:
         """Add an existing relation object to every current world."""
-        self.backend.register_relation(relation, name)
+        with self.lock.write():
+            self.backend.register_relation(relation, name)
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Insert rows into *table* in every world (checking declared keys)."""
-        return self.backend.insert(table, rows)
+        with self.lock.write():
+            return self.backend.insert(table, rows)
 
     def relation(self, name: str, world_label: str | None = None) -> Relation:
         """Return a relation from one world (the first world by default)."""
-        return self.backend.relation(name, world_label)
+        with self.lock.read():
+            return self.backend.relation(name, world_label)
 
     def world_count(self) -> int:
         """The number of possible worlds in the current state."""
@@ -137,10 +161,38 @@ class MayBMS:
 
     # -- statement execution --------------------------------------------------------------------
 
-    def execute(self, sql: str) -> StatementResult:
-        """Parse and execute a single I-SQL statement."""
-        statement = parse_statement(sql)
-        return self.execute_statement(statement)
+    @property
+    def state_generation(self) -> int:
+        """Completed writes on this session (the cache-invalidation key)."""
+        return self.lock.generation
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Compile *sql* once into a reusable :class:`PreparedStatement`.
+
+        The statement is parsed (``?`` placeholders become positional
+        parameters), classified read vs. write, and registered in the
+        session's LRU statement cache; aggregate / grouping shape analysis
+        compiles lazily on first execution and is reused afterwards.
+        Repeated ``prepare`` calls with the same text return the same
+        object.
+        """
+        cached = self.statement_cache.get(sql)
+        if cached is not None:
+            return cached
+        statement, parameter_count = parse_prepared(sql)
+        prepared = PreparedStatement(self.backend, self.lock, sql, statement,
+                                     parameter_count)
+        self.statement_cache.put(sql, prepared)
+        return prepared
+
+    def execute(self, sql: str,
+                parameters: Optional[Sequence[Any]] = None) -> StatementResult:
+        """Execute a single I-SQL statement (with optional ``?`` arguments).
+
+        Goes through the prepared-statement cache: repeating the same SQL
+        text transparently reuses the compiled statement.
+        """
+        return self.prepare(sql).execute(parameters or ())
 
     def execute_script(self, sql: str) -> list[StatementResult]:
         """Parse and execute a semicolon-separated script; return all results."""
@@ -149,7 +201,11 @@ class MayBMS:
 
     def execute_statement(self, statement: Statement) -> StatementResult:
         """Execute an already-parsed statement on the active backend."""
-        return self.backend.execute_statement(statement)
+        if statement_is_read(statement):
+            with self.lock.read():
+                return self.backend.execute_statement(statement)
+        with self.lock.write():
+            return self.backend.execute_statement(statement)
 
     # -- introspection -------------------------------------------------------------------------------------------
 

@@ -13,8 +13,10 @@ SQL parser (which produces them directly) and the I-SQL engine.
 from __future__ import annotations
 
 import math
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from ..errors import ExpressionError, UnknownColumnError
 from .schema import Schema
@@ -30,6 +32,8 @@ __all__ = [
     "EvalContext",
     "Expression",
     "Literal",
+    "Parameter",
+    "bound_parameters",
     "ColumnRef",
     "Star",
     "BinaryOp",
@@ -142,6 +146,60 @@ class Literal(Expression):
         if isinstance(self.value, bool):
             return "TRUE" if self.value else "FALSE"
         return str(self.value)
+
+
+#: Per-thread parameter bindings for prepared statements.  Bindings are
+#: thread-local so one prepared statement (one shared AST) can execute
+#: concurrently in many threads with different arguments — see
+#: :mod:`repro.serving.prepared`.
+_PARAMETER_BINDINGS = threading.local()
+
+
+@contextmanager
+def bound_parameters(values: Sequence[Any]) -> Iterator[None]:
+    """Bind positional parameter values (``?``) for the calling thread.
+
+    Every :class:`Parameter` evaluated on this thread while the context is
+    active reads its value from *values* by ordinal.  Bindings nest (the
+    previous binding is restored on exit), though statements never do in
+    practice — subqueries evaluate under their statement's binding.
+    """
+    previous = getattr(_PARAMETER_BINDINGS, "values", None)
+    _PARAMETER_BINDINGS.values = tuple(values)
+    try:
+        yield
+    finally:
+        _PARAMETER_BINDINGS.values = previous
+
+
+@dataclass(repr=False)
+class Parameter(Expression):
+    """A positional ``?`` placeholder in a prepared statement.
+
+    ``index`` is the 0-based ordinal of the placeholder within its statement
+    (assigned left to right by the parser).  Evaluation reads the calling
+    thread's active binding (:func:`bound_parameters`); evaluating outside a
+    binding — e.g. executing parameterised SQL without arguments — raises.
+    """
+
+    index: int
+
+    def evaluate(self, context: EvalContext) -> Any:
+        values = getattr(_PARAMETER_BINDINGS, "values", None)
+        if values is None:
+            raise ExpressionError(
+                f"parameter ?{self.index + 1} is unbound; prepare the "
+                "statement and execute it with arguments")
+        if self.index >= len(values):
+            raise ExpressionError(
+                f"parameter ?{self.index + 1} is unbound: only "
+                f"{len(values)} argument(s) were supplied")
+        return values[self.index]
+
+    def sql(self) -> str:
+        # The ordinal keeps distinct parameters distinct wherever rendered
+        # SQL is compared (e.g. GROUP BY key matching in aggregate analysis).
+        return f"?{self.index + 1}"
 
 
 @dataclass(repr=False)

@@ -1,0 +1,27 @@
+"""The concurrent serving layer: prepared statements, caches and locking.
+
+This package turns a :class:`~repro.core.session.MayBMS` session from a
+single-threaded interpreter into a compile-once / serve-many engine:
+
+* :mod:`repro.serving.prepared` — :class:`PreparedStatement` (parse, plan
+  and shape-analyse once; ``?`` parameter binding) and the LRU
+  :class:`StatementCache` behind ``session.execute``;
+* :mod:`repro.serving.locks` — the :class:`GenerationRWLock` giving one
+  session many concurrent readers, exclusive writers, and generation-keyed
+  cache invalidation;
+* :mod:`repro.serving.server` — a JSON-over-HTTP front end
+  (``python -m repro serve``).
+"""
+
+from .locks import GenerationRWLock
+from .prepared import PreparedStatement, StatementCache, statement_is_read
+from .server import MayBMSServer, result_payload
+
+__all__ = [
+    "GenerationRWLock",
+    "MayBMSServer",
+    "PreparedStatement",
+    "StatementCache",
+    "result_payload",
+    "statement_is_read",
+]

@@ -1,0 +1,125 @@
+"""The generation-aware read/write lock guarding one session's world-set state.
+
+One :class:`GenerationRWLock` protects one session's
+:class:`~repro.wsd.decomposition.WorldSetDecomposition` (or explicit
+world-set): any number of readers may hold it concurrently, writers are
+exclusive, and every completed write bumps the lock's **generation** — the
+monotonic counter cache consumers key on.  Cache invalidation in the serving
+layer is *only ever* generation-driven, never heuristic:
+
+* the symbolic grounding cache is keyed on the decomposition's generation
+  (bumped by every install / ``assert`` / DML), so a write can never leave a
+  stale grounding behind — the next read simply misses;
+* d-tree memo tables live inside per-statement executors and never outlive
+  the read that built them;
+* prepared statements' compiled aggregate/grouping plans are pure functions
+  of the statement AST (they reference no world-set state), so they survive
+  generation bumps by construction.
+
+The lock is writer-preferring: once a writer is waiting, new readers queue
+behind it, so a stream of prepared reads cannot starve DML.  Acquisition is
+not reentrant — the session acquires it exactly once per statement, at the
+outermost execution entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["GenerationRWLock"]
+
+
+class GenerationRWLock:
+    """A writer-preferring read/write lock with a write-generation counter."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_ok = threading.Condition(self._mutex)
+        self._writer_ok = threading.Condition(self._mutex)
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        #: Completed writes so far.  Read it while holding the lock (either
+        #: side) to know which state snapshot you are looking at: a reader
+        #: observing generation ``g`` sees exactly the state left by the
+        #: ``g``-th write.
+        self.generation = 0
+        #: High-water mark of simultaneously active readers (observability:
+        #: the concurrency tests assert reads genuinely overlap).
+        self.peak_readers = 0
+
+    # -- readers --------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._mutex:
+            while self._writer_active or self._writers_waiting:
+                self._readers_ok.wait()
+            self._readers += 1
+            if self._readers > self.peak_readers:
+                self.peak_readers = self._readers
+
+    def release_read(self) -> None:
+        with self._mutex:
+            self._readers -= 1
+            if self._readers == 0:
+                self._writer_ok.notify()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock in shared (read) mode for the ``with`` body."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writers --------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._mutex:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._writer_ok.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self, bump: bool = True) -> int:
+        """Release exclusive mode; bump (by default) and return the generation.
+
+        The bump happens under the mutex, before any waiter wakes, so every
+        subsequent reader observes the new generation together with the new
+        state — there is no window where stale caches could be consulted
+        against the old counter.  A write that *failed* releases with
+        ``bump=False``: the state is unchanged, so the generation — which
+        counts completed writes — must not advance.
+        """
+        with self._mutex:
+            if bump:
+                self.generation += 1
+            generation = self.generation
+            self._writer_active = False
+            if self._writers_waiting:
+                self._writer_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+            return generation
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock in exclusive (write) mode for the ``with`` body.
+
+        The generation bumps only when the body completes without raising —
+        a failed write leaves the state, and therefore the counter, alone.
+        """
+        self.acquire_write()
+        try:
+            yield
+        except BaseException:
+            self.release_write(bump=False)
+            raise
+        else:
+            self.release_write()

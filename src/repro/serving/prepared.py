@@ -1,0 +1,179 @@
+"""Prepared statements: parse / plan / shape-analyse once, execute many.
+
+:meth:`repro.core.session.MayBMS.prepare` compiles one I-SQL statement into a
+:class:`PreparedStatement`:
+
+* the SQL is **parsed once** — ``?`` placeholders become
+  :class:`~repro.relational.expressions.Parameter` nodes bound per
+  execution, so the same AST serves every argument vector;
+* the statement is **classified once** (read vs. write), so each execution
+  takes the session's :class:`~repro.serving.locks.GenerationRWLock` in the
+  right mode without re-inspecting the AST;
+* on the wsd backend, aggregate / grouping **shape analysis is compiled
+  once** per executing thread and cached on the statement
+  (:attr:`PreparedStatement.plans`) — the compiled
+  :class:`~repro.wsd.aggregate.AggregatePlan` is a pure function of the AST
+  and is therefore valid across decomposition generations, while the
+  symbolic grounding the plan evaluates over stays keyed on the
+  decomposition generation (a DML bump invalidates it, nothing else does).
+
+Executions are thread-safe: parameter bindings are thread-local, the plan
+cache is per-thread (compiled plans carry mutable evaluation slots, so one
+instance must never evaluate in two threads at once), and the session's
+read/write lock serialises writers against everything while letting
+prepared reads run concurrently.  The per-thread scope means a brand-new
+thread pays one shape analysis (~0.1ms) before its plans amortise — for the
+thread-per-connection HTTP server that is one analysis per connection, not
+per request; slot-free shareable plans are a noted ROADMAP follow-up.
+
+:class:`StatementCache` is the session-level LRU that makes plain
+``execute(sql)`` transparently reuse a prepared statement for repeated text.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from ..errors import AnalysisError
+from ..relational.expressions import bound_parameters
+from ..sqlparser.ast_nodes import (
+    CompoundQuery,
+    ExplainStatement,
+    SelectQuery,
+    Statement,
+)
+from .locks import GenerationRWLock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.backends import ExecutionBackend
+    from ..core.results import StatementResult
+
+__all__ = ["PreparedStatement", "StatementCache", "statement_is_read"]
+
+
+def statement_is_read(statement: Statement) -> bool:
+    """True when *statement* only reads session state (queries, EXPLAIN).
+
+    Everything else — DDL, DML, ``CREATE TABLE AS`` — derives or mutates the
+    world-set and must hold the session lock exclusively.
+    """
+    return isinstance(statement, (SelectQuery, CompoundQuery,
+                                  ExplainStatement))
+
+
+class PreparedStatement:
+    """One compiled statement, reusable (and re-bindable) across executions."""
+
+    def __init__(self, backend: "ExecutionBackend", lock: GenerationRWLock,
+                 sql: str, statement: Statement,
+                 parameter_count: int) -> None:
+        self.sql = sql
+        self.statement = statement
+        #: How many ``?`` placeholders each execution must bind.
+        self.parameter_count = parameter_count
+        #: Shared-mode executions (queries) vs. exclusive (DDL / DML).
+        self.is_read = statement_is_read(statement)
+        #: Total completed executions (observability; approximate under
+        #: concurrency — it is not synchronised).
+        self.executions = 0
+        self._backend = backend
+        self._lock = lock
+        # Compiled aggregate/grouping plans are cached per executing thread:
+        # an AggregatePlan carries mutable value slots filled during
+        # evaluation, so sharing one instance across threads would race.
+        self._plans = threading.local()
+
+    @property
+    def plans(self) -> dict:
+        """The calling thread's compiled-plan cache (query id -> plan)."""
+        cache = getattr(self._plans, "cache", None)
+        if cache is None:
+            cache = {}
+            self._plans.cache = cache
+        return cache
+
+    def execute(self, parameters: Sequence[Any] = ()) -> "StatementResult":
+        """Execute with *parameters* bound to the ``?`` placeholders."""
+        return self.execute_with_generation(parameters)[0]
+
+    def execute_with_generation(self, parameters: Sequence[Any] = ()
+                                ) -> tuple["StatementResult", int]:
+        """Execute and also report the state generation the result saw.
+
+        For reads the generation identifies the snapshot the answer was
+        computed against (the count of writes committed before it); for
+        writes it is the generation the write *produced*.  The pair is read
+        atomically under the session lock, which is what lets concurrency
+        tests replay a concurrent history serially.
+        """
+        parameters = tuple(parameters)
+        if len(parameters) != self.parameter_count:
+            raise AnalysisError(
+                f"prepared statement expects {self.parameter_count} "
+                f"parameter(s), got {len(parameters)}")
+        if self.is_read:
+            self._lock.acquire_read()
+            try:
+                with bound_parameters(parameters):
+                    result = self._backend.execute_statement(
+                        self.statement, prepared_plans=self.plans)
+                generation = self._lock.generation
+            finally:
+                self._lock.release_read()
+        else:
+            self._lock.acquire_write()
+            try:
+                with bound_parameters(parameters):
+                    result = self._backend.execute_statement(
+                        self.statement, prepared_plans=self.plans)
+            except BaseException:
+                # The write failed: the state did not change, so the
+                # completed-write counter must not advance either.
+                self._lock.release_write(bump=False)
+                raise
+            else:
+                generation = self._lock.release_write()
+        self.executions += 1
+        return result, generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "read" if self.is_read else "write"
+        return (f"PreparedStatement({self.sql!r}, {mode}, "
+                f"{self.parameter_count} parameter(s))")
+
+
+class StatementCache:
+    """A thread-safe LRU of prepared statements keyed by SQL text."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, sql: str) -> Optional[PreparedStatement]:
+        with self._mutex:
+            prepared = self._entries.get(sql)
+            if prepared is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql)
+            self.hits += 1
+            return prepared
+
+    def put(self, sql: str, prepared: PreparedStatement) -> None:
+        with self._mutex:
+            self._entries[sql] = prepared
+            self._entries.move_to_end(sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()

@@ -1,0 +1,236 @@
+"""A small JSON-over-HTTP front end for one MayBMS session.
+
+``python -m repro serve`` starts a :class:`MayBMSServer`: a stdlib
+:class:`~http.server.ThreadingHTTPServer` in front of one shared
+:class:`~repro.core.session.MayBMS` session.  Each HTTP request is handled on
+its own thread; the session's prepared-statement layer makes that safe —
+statements are compiled once into the session's LRU, reads share the
+generation lock, writes take it exclusively.
+
+Endpoints
+---------
+
+``POST /query``
+    Body ``{"sql": "...", "params": [...]}`` (``params`` optional).  The SQL
+    may contain ``?`` placeholders; repeated statements hit the session's
+    prepared-statement cache.  Responds with the JSON rendering of the
+    statement result (see :func:`result_payload`).
+
+``GET /health``
+    ``{"ok": true, "backend": ..., "generation": ..., "tables": [...]}``.
+
+``GET /stats``
+    The serving counters: statement-cache hits/misses and, on the wsd
+    backend, the executor strategy / grounding-cache / confidence counters.
+
+Errors raised by the engine come back as ``{"error": ..., "type": ...}``
+with status 400; malformed requests get 400 too, unknown paths 404.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import StatementResult
+    from ..core.session import MayBMS
+
+__all__ = ["MayBMSServer", "result_payload"]
+
+
+def _json_value(value: Any) -> Any:
+    """A JSON-safe rendering of one cell value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _relation_payload(relation) -> dict:
+    return {
+        "columns": list(relation.schema.names()),
+        "rows": [[_json_value(cell) for cell in row]
+                 for row in relation.rows],
+    }
+
+
+def result_payload(result: "StatementResult") -> dict:
+    """The JSON body for one executed statement."""
+    if result.kind == "command":
+        return {"kind": "command", "message": result.message,
+                "rowcount": result.rowcount}
+    if result.is_rows():
+        payload = _relation_payload(result.relation)
+        payload["kind"] = "rows"
+        return payload
+    if result.is_world_rows():
+        answers = []
+        for answer in result.world_answers:
+            entry = _relation_payload(answer.relation)
+            entry["label"] = answer.label
+            entry["probability"] = answer.probability
+            answers.append(entry)
+        return {"kind": "world_rows", "answers": answers}
+    # Compact wsd answers: report the representation, not materialised
+    # worlds (that is the whole point of the backend).
+    decomposition = result.decomposition
+    tuples = decomposition.template.relation_tuples(result.relation_name)
+    return {
+        "kind": "wsd_rows",
+        "relation": result.relation_name,
+        "template_tuples": len(tuples),
+        "components": len(decomposition.components),
+        "log10_worlds": decomposition.log10_world_count(),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the shared session hangs off the server object."""
+
+    server_version = "maybms-repro"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------------
+
+    @property
+    def session(self) -> "MayBMS":
+        return self.server.session  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes | None:
+        """Drain and return the request body; None after answering 400.
+
+        Always reading the declared body keeps HTTP/1.1 keep-alive
+        connections in sync — unread body bytes would be parsed as the next
+        request line.  An unparseable Content-Length means the body's end is
+        unknowable, so the connection is answered and closed instead.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "0") or 0)
+        except ValueError:
+            self.close_connection = True
+            self._respond(400, {"error": "invalid Content-Length header",
+                                "type": "ValueError"})
+            return None
+        return self.rfile.read(length) if length > 0 else b""
+
+    # -- endpoints ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self._read_body() is None:
+            return
+        if self.path == "/health":
+            self._respond(200, {
+                "ok": True,
+                "backend": self.session.backend_name,
+                "generation": self.session.state_generation,
+                "tables": self.session.table_names(),
+            })
+            return
+        if self.path == "/stats":
+            self._respond(200, self._stats_payload())
+            return
+        self._respond(404, {"error": f"unknown path {self.path!r}",
+                            "type": "NotFound"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        body = self._read_body()
+        if body is None:
+            return
+        if self.path != "/query":
+            self._respond(404, {"error": f"unknown path {self.path!r}",
+                                "type": "NotFound"})
+            return
+        try:
+            request = json.loads(body or b"{}")
+            if not isinstance(request, dict):
+                raise ValueError("expected {'sql': str, 'params': list}")
+            sql = request["sql"]
+            params = request.get("params", [])
+            if not isinstance(sql, str) or not isinstance(params, list):
+                raise ValueError("expected {'sql': str, 'params': list}")
+        except (KeyError, TypeError, ValueError,
+                json.JSONDecodeError) as error:
+            self._respond(400, {"error": str(error),
+                                "type": type(error).__name__})
+            return
+        try:
+            result = self.session.execute(sql, params)
+        except ReproError as error:
+            self._respond(400, {"error": str(error),
+                                "type": type(error).__name__})
+            return
+        except Exception as error:  # keep the always-JSON contract
+            self._respond(500, {"error": str(error),
+                                "type": type(error).__name__})
+            return
+        self._respond(200, result_payload(result))
+
+    def _stats_payload(self) -> dict:
+        session = self.session
+        payload: dict[str, Any] = {
+            "backend": session.backend_name,
+            "generation": session.state_generation,
+            "statement_cache": {
+                "size": len(session.statement_cache),
+                "hits": session.statement_cache.hits,
+                "misses": session.statement_cache.misses,
+            },
+        }
+        backend = session.backend
+        for name in ("stats", "confidence_stats", "aggregate_stats"):
+            counters = getattr(backend, name, None)
+            if counters is not None:
+                payload[name] = asdict(counters)
+        return payload
+
+
+class MayBMSServer:
+    """A threaded HTTP server wrapping one shared session."""
+
+    def __init__(self, session: "MayBMS", host: str = "127.0.0.1",
+                 port: int = 8850, verbose: bool = False) -> None:
+        self.session = session
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.session = session  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (useful with ``port=0``)."""
+        return self.httpd.server_address[:2]
+
+    def serve_forever(self) -> None:  # pragma: no cover - blocking loop
+        self.serve()
+
+    def serve(self) -> None:  # pragma: no cover - blocking loop
+        host, port = self.address
+        print(f"maybms-repro serving on http://{host}:{port} "
+              f"(backend={self.session.backend_name}); POST /query, "
+              "GET /health, GET /stats")
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.httpd.server_close()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()

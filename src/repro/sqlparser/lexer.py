@@ -25,6 +25,7 @@ _SINGLE_CHAR_TOKENS = {
     ")": TokenType.RPAREN,
     ";": TokenType.SEMICOLON,
     ".": TokenType.DOT,
+    "?": TokenType.PARAMETER,
 }
 
 _OPERATOR_STARTS = "=<>!+-*/%|"

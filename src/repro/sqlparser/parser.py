@@ -46,6 +46,7 @@ from ..relational.expressions import (
     IsNull,
     Like,
     Literal,
+    Parameter,
     QuantifiedComparison,
     ScalarSubquery,
     Star,
@@ -79,7 +80,8 @@ from .ast_nodes import (
 from .lexer import tokenize
 from .tokens import Token, TokenType
 
-__all__ = ["Parser", "parse_statement", "parse_statements", "parse_query", "parse_expression"]
+__all__ = ["Parser", "parse_statement", "parse_statements", "parse_query",
+           "parse_expression", "parse_prepared"]
 
 
 class Parser:
@@ -89,6 +91,10 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.position = 0
+        #: Number of ``?`` placeholders seen so far; each becomes a
+        #: :class:`~repro.relational.expressions.Parameter` with the next
+        #: ordinal (left to right across the whole parsed text).
+        self.parameter_count = 0
 
     # -- token stream helpers ---------------------------------------------------------
 
@@ -388,7 +394,15 @@ class Parser:
         if self._match_keyword("view"):
             name = self._identifier("a view name")
             self._expect_keyword("as")
+            parameters_before = self.parameter_count
             query = self._query()
+            if self.parameter_count != parameters_before:
+                # A view body evaluates later, under whatever statement is
+                # querying it — a '?' here would silently rebind to *that*
+                # statement's arguments.  Reject it at parse time.
+                raise self._error(
+                    "parameters ('?') are not allowed in CREATE VIEW; "
+                    "inline the value or create the view per binding")
             return CreateView(name=name, query=query, or_replace=or_replace)
         self._expect_keyword("table")
         name = self._identifier("a table name")
@@ -614,6 +628,11 @@ class Parser:
         if token.is_keyword("false"):
             self._advance()
             return Literal(False)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = Parameter(self.parameter_count)
+            self.parameter_count += 1
+            return parameter
         if token.is_keyword("case"):
             return self._case_expression()
         if token.is_keyword("exists"):
@@ -705,6 +724,17 @@ class Parser:
 def parse_statement(text: str) -> Statement:
     """Parse a single SQL / I-SQL statement from *text*."""
     return Parser(text).parse_statement()
+
+
+def parse_prepared(text: str) -> tuple[Statement, int]:
+    """Parse one statement that may contain ``?`` parameter placeholders.
+
+    Returns ``(statement, parameter_count)`` — the count is how many
+    positional arguments an execution of the statement must bind.
+    """
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    return statement, parser.parameter_count
 
 
 def parse_statements(text: str) -> list[Statement]:

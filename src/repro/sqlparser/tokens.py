@@ -23,6 +23,7 @@ class TokenType(enum.Enum):
     RPAREN = ")"
     SEMICOLON = ";"
     STAR = "*"
+    PARAMETER = "?"
     EOF = "eof"
 
 

@@ -406,6 +406,45 @@ class DecomposedAggregator:
 
     # -- joint answer distribution (plain queries) --------------------------------------
 
+    def cluster_partition(self, contributions: Sequence[Contribution]
+                          ) -> list[list[Contribution]]:
+        """The independent clusters of *contributions* (connected groups over
+        the components their conditions touch), in deterministic order."""
+        return self._clusters(contributions)
+
+    def cluster_distribution(self, cluster: Sequence[Contribution]
+                             ) -> dict[tuple, float]:
+        """One cluster's local mapping distribution (canonical ``(key,
+        state)`` tuples -> mass), by enumerating only its own joint
+        alternatives.  The world-grouping engine uses these building blocks
+        directly to avoid re-convolving untouched clusters."""
+        self.stats.clusters += 1
+        local: dict[tuple, float] = {}
+        for choice, weight in self._cluster_joints(cluster):
+            states: dict[tuple, tuple] = {}
+            for contribution in cluster:
+                if contribution.condition.holds(choice):
+                    current = states.get(contribution.key)
+                    states[contribution.key] = (
+                        contribution.delta if current is None
+                        else self.combine(current, contribution.delta))
+            mapping = _canonical_mapping(states)
+            local[mapping] = local.get(mapping, 0.0) + weight
+            self._charge_states(local)
+        return local
+
+    def merge_distributions(self, left: dict[tuple, float],
+                            right: dict[tuple, float]) -> dict[tuple, float]:
+        """Convolve two independent mapping distributions."""
+        self.stats.convolutions += 1
+        merged: dict[tuple, float] = {}
+        for map_a, mass_a in left.items():
+            for map_b, mass_b in right.items():
+                mapping = self.merge_mappings(map_a, map_b)
+                merged[mapping] = merged.get(mapping, 0.0) + mass_a * mass_b
+            self._charge_states(merged)
+        return merged
+
     def answer_distribution(self, contributions: Sequence[Contribution]
                             ) -> dict[tuple, float]:
         """Distribution over whole answers: states are canonical tuples of
@@ -414,36 +453,14 @@ class DecomposedAggregator:
         """
         total: dict[tuple, float] | None = None
         for cluster in self._clusters(contributions):
-            self.stats.clusters += 1
-            local: dict[tuple, float] = {}
-            for choice, weight in self._cluster_joints(cluster):
-                states: dict[tuple, tuple] = {}
-                for contribution in cluster:
-                    if contribution.condition.holds(choice):
-                        current = states.get(contribution.key)
-                        states[contribution.key] = (
-                            contribution.delta if current is None
-                            else self.combine(current, contribution.delta))
-                mapping = _canonical_mapping(states)
-                local[mapping] = local.get(mapping, 0.0) + weight
-                self._charge_states(local)
-            if total is None:
-                total = local
-            else:
-                self.stats.convolutions += 1
-                merged: dict[tuple, float] = {}
-                for map_a, mass_a in total.items():
-                    for map_b, mass_b in local.items():
-                        mapping = self._merge_mappings(map_a, map_b)
-                        merged[mapping] = merged.get(mapping, 0.0) \
-                            + mass_a * mass_b
-                    self._charge_states(merged)
-                total = merged
+            local = self.cluster_distribution(cluster)
+            total = local if total is None \
+                else self.merge_distributions(total, local)
         if total is None:
             total = {(): 1.0}
         return total
 
-    def _merge_mappings(self, left: tuple, right: tuple) -> tuple:
+    def merge_mappings(self, left: tuple, right: tuple) -> tuple:
         merged: dict[tuple, tuple] = dict(left)
         for key, state in right:
             current = merged.get(key)
@@ -686,8 +703,11 @@ def plan_contributions(plan: "AggregatePlan", joined,
     ``wrap_key`` lets the grouping engine namespace the group keys.
     """
     contributions: list[Contribution] = []
+    # Re-pointed context: key and argument expressions are subquery-free by
+    # plan analysis, so nothing retains the context beyond each evaluate.
+    context = EvalContext(schema=joined.schema, row=None)
     for sym in joined.tuples:
-        context = EvalContext(schema=joined.schema, row=sym.row)
+        context.row = sym.row
         key = tuple(expr.evaluate(context) for expr in plan.key_exprs)
         delta: list[Any] = [True]
         for call, spec in zip(plan.calls, plan.specs):

@@ -400,7 +400,8 @@ class WSDExecutor:
                  confidence: str = "dtree",
                  aggregates: str = "convolution",
                  world_grouping: str = "native",
-                 ground_cache: dict | None = None) -> None:
+                 ground_cache: dict | None = None,
+                 plan_cache: dict | None = None) -> None:
         if confidence not in ("dtree", "enumerate", "cross-check"):
             raise AnalysisError(
                 f"unknown confidence mode {confidence!r} "
@@ -443,7 +444,37 @@ class WSDExecutor:
         #: repeated queries over unchanged tables skip re-grounding.
         self._ground_cache: dict = (ground_cache if ground_cache is not None
                                     else {})
+        #: Compiled aggregate/grouping shape analyses keyed on the query
+        #: AST's id (a prepared statement passes its per-thread cache in, so
+        #: repeated executions skip :func:`analyse_aggregate_query`).  The
+        #: entry pins the query object, keeping id-keying sound.  Plans are
+        #: pure functions of the AST — no decomposition state — so they stay
+        #: valid across generations.
+        self._plan_cache: dict | None = plan_cache
         self._transient_counter = 0
+
+    def aggregate_plan(self, query: SelectQuery) -> Optional[AggregatePlan]:
+        """Shape-analyse *query* (memoised on the prepared-plan cache).
+
+        The cache is capped: some callers analyse *derived* ASTs built per
+        execution (e.g. the ``group worlds by`` main query after
+        :func:`_strip_world_clauses`), whose ids never repeat — without the
+        cap those entries (and the ASTs they pin) would accumulate for the
+        lifetime of the prepared statement.  A statement has only a handful
+        of stable nested queries, so clearing at the cap costs at most one
+        re-analysis each while keeping the cache bounded.
+        """
+        cache = self._plan_cache
+        if cache is None:
+            return analyse_aggregate_query(query)
+        entry = cache.get(id(query))
+        if entry is not None and entry[0] is query:
+            return entry[1]
+        plan = analyse_aggregate_query(query)
+        if len(cache) >= 32:
+            cache.clear()
+        cache[id(query)] = (query, plan)
+        return plan
 
     # -- public API ---------------------------------------------------------------------
 
@@ -729,15 +760,17 @@ class WSDExecutor:
 
         schema = left.schema.concat(right.schema)
         buckets: dict[tuple, list[SymTuple]] = {}
+        context = EvalContext(schema=right.schema, row=None)
         for sym in right.tuples:
-            context = EvalContext(schema=right.schema, row=sym.row)
+            context.row = sym.row
             key = tuple(expr.evaluate(context) for _, expr in keys)
             if any(value is None for value in key):
                 continue
             buckets.setdefault(hash_key(key), []).append(sym)
         tuples: list[SymTuple] = []
+        context = EvalContext(schema=left.schema, row=None)
         for sym in left.tuples:
-            context = EvalContext(schema=left.schema, row=sym.row)
+            context.row = sym.row
             key = tuple(expr.evaluate(context) for expr, _ in keys)
             if any(value is None for value in key):
                 continue
@@ -889,9 +922,13 @@ class WSDExecutor:
 
     def _filter(self, source: SymbolicRelation,
                 predicate: Expression) -> SymbolicRelation:
+        # One context, re-pointed per row: the symbolic tier only ever
+        # filters subquery-free predicates, so nothing retains the context
+        # beyond the evaluate call — and this loop is the serving hot path.
+        context = EvalContext(schema=source.schema, row=None)
         kept = []
         for sym in source.tuples:
-            context = EvalContext(schema=source.schema, row=sym.row)
+            context.row = sym.row
             if predicate.evaluate(context) is True:
                 kept.append(sym)
         return SymbolicRelation(source.schema, kept)
@@ -925,8 +962,11 @@ class WSDExecutor:
         outputs = deduplicate_output_names(outputs)
         schema = Schema([Column(output.name) for output in outputs])
         projected: list[tuple[tuple, Condition]] = []
+        # Re-pointed context: projection expressions on the symbolic tier
+        # are subquery-free (see _needs_component_joint), so reuse is safe.
+        context = EvalContext(schema=source.schema, row=None)
         for sym in source.tuples:
-            context = EvalContext(schema=source.schema, row=sym.row)
+            context.row = sym.row
             row = tuple(output.expression.evaluate(context)
                         for output in outputs)
             projected.append((row, sym.condition))
@@ -1145,7 +1185,7 @@ class WSDExecutor:
         """
         if self.aggregates != "convolution":
             return None
-        plan = analyse_aggregate_query(query)
+        plan = self.aggregate_plan(query)
         if plan is None:
             return None
         try:

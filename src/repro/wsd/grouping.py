@@ -57,7 +57,6 @@ from .aggregate import (
     DecomposedAggregator,
     _CountSpec,
     _ExistsSpec,
-    analyse_aggregate_query,
     plan_contributions,
 )
 
@@ -181,7 +180,7 @@ def _compile_aggregate(executor, working, query: SelectQuery, tag: str,
                        items: Optional[list[tuple[str, str]]]):
     """Aggregate / GROUP BY / HAVING selects via the decomposed aggregate
     plan: the per-world answer is a deterministic function of the state."""
-    plan = analyse_aggregate_query(query)
+    plan = executor.aggregate_plan(query)
     if plan is None or plan.kind != "aggregate":
         raise GroupingUnsupportedError(
             "this query shape has no native world-function compilation "
@@ -255,34 +254,70 @@ def _aggregator(executor, working, specs) -> DecomposedAggregator:
                                 stats=executor.aggregate_stats)
 
 
-def _group_masses(executor, working, group_fn: WorldFunction
-                  ) -> tuple[list[tuple], dict[tuple, float]]:
-    """``(first-seen order, fingerprint -> mass)`` of the world groups."""
-    engine = _aggregator(executor, working, group_fn.specs)
-    joint = engine.answer_distribution(group_fn.contributions)
-    order: list[tuple] = []
-    masses: dict[tuple, float] = {}
-    for mapping, mass in joint.items():
-        fingerprint = tuple(group_fn.decode(dict(mapping)))
-        if fingerprint not in masses:
-            masses[fingerprint] = 0.0
-            order.append(fingerprint)
-        masses[fingerprint] += mass
-    return order, masses
-
-
 def _group_symbolic_main(executor, working, quantifier: str,
                          group_fn: WorldFunction, main_fn: WorldFunction
                          ) -> list[WorldGroup]:
     """Symbolic main query: per-answer-row presence joined with the group
-    event, one marginal convolution per conditional row.
+    event, re-convolving only the clusters a row's conditions touch.
 
-    The joint of *every* row's presence with the grouping answer would be
-    exponential in the row count; each row only needs its own marginal
-    (presence, group) joint, so rows run independently — the aggregator's
-    cluster structure keeps each run linear in the untouched components.
+    The grouping contributions' **per-cluster local distributions are
+    computed once** and combined once into the full joint (the group
+    masses).  Each uncertain main row then runs a *small* joint — its
+    presence conditions plus only the grouping clusters sharing components
+    with them — and the clusters it does not touch are supplied by cached
+    leave-out products of the local distributions (prefix/suffix merges, so
+    the common single-cluster case costs one extra merge, memoised per
+    touched set).  This replaces the previous ``R + 1`` full convolution
+    runs (one per distinct uncertain row) with one full run plus ``R``
+    cluster-local joints — the convolution-count regression test pins the
+    difference down.
     """
-    order, masses = _group_masses(executor, working, group_fn)
+    engine = _aggregator(executor, working, group_fn.specs)
+    clusters = engine.cluster_partition(group_fn.contributions)
+    locals_ = [engine.cluster_distribution(cluster) for cluster in clusters]
+    cluster_components = [
+        frozenset(index for contribution in cluster
+                  for index in contribution.condition.component_ids())
+        for cluster in clusters]
+    unit = {(): 1.0}
+    count = len(locals_)
+    # prefix[i] = merge of locals_[:i], suffix[i] = merge of locals_[i:]:
+    # the leave-one-out product for cluster i is prefix[i] x suffix[i+1].
+    prefix = [unit]
+    for local in locals_:
+        prefix.append(engine.merge_distributions(prefix[-1], local)
+                      if prefix[-1] is not unit else dict(local))
+    full_joint = prefix[count]
+    suffix = [unit] * (count + 1)
+    suffix_ready = False
+
+    def ensure_suffix() -> None:
+        nonlocal suffix_ready
+        if suffix_ready:
+            return
+        for index in range(count - 1, -1, -1):
+            suffix[index] = (engine.merge_distributions(locals_[index],
+                                                        suffix[index + 1])
+                             if suffix[index + 1] is not unit
+                             else dict(locals_[index]))
+        suffix_ready = True
+    order: list[tuple] = []
+    masses: dict[tuple, float] = {}
+    fingerprints: dict[tuple, tuple] = {}
+
+    def fingerprint_of(mapping: tuple) -> tuple:
+        cached = fingerprints.get(mapping)
+        if cached is None:
+            cached = tuple(group_fn.decode(dict(mapping)))
+            fingerprints[mapping] = cached
+        return cached
+
+    for mapping, mass in full_joint.items():
+        fingerprint = fingerprint_of(mapping)
+        if fingerprint not in masses:
+            masses[fingerprint] = 0.0
+            order.append(fingerprint)
+        masses[fingerprint] += mass
     # Presence DNF per distinct answer row (constant rows hold everywhere).
     presence: dict[tuple, list] = {}
     row_order: list[tuple] = []
@@ -303,25 +338,77 @@ def _group_symbolic_main(executor, working, quantifier: str,
     certain: dict[tuple, set[tuple]] = {fp: set(constant) for fp in order}
     exists = _ExistsSpec()
     specs = [exists] + group_fn.specs
+    group_identity = tuple(spec.identity for spec in group_fn.specs)
+    untouched_memo: dict[frozenset, dict] = {}
+
+    def untouched_product(touched: frozenset) -> dict:
+        """The merged distribution of every cluster not in *touched*."""
+        cached = untouched_memo.get(touched)
+        if cached is not None:
+            return cached
+        if not touched:
+            product = full_joint
+        elif len(touched) == 1:
+            ensure_suffix()
+            index = next(iter(touched))
+            left, right = prefix[index], suffix[index + 1]
+            if left is unit:
+                product = right
+            elif right is unit:
+                product = left
+            else:
+                product = engine.merge_distributions(left, right)
+        else:
+            product = unit
+            for index, local in enumerate(locals_):
+                if index in touched:
+                    continue
+                product = (engine.merge_distributions(product, local)
+                           if product is not unit else dict(local))
+        untouched_memo[touched] = product
+        return product
+
     for row, conditions in presence.items():
-        contributions = [
-            Contribution((PRESENCE_TAG,), condition, (True,) + tuple(
-                spec.identity for spec in group_fn.specs))
-            for condition in conditions]
-        contributions += [
-            Contribution(c.key, c.condition, (exists.identity,) + c.delta)
-            for c in group_fn.contributions]
-        engine = _aggregator(executor, working, specs)
-        joint = engine.answer_distribution(contributions)
+        row_components = {index for condition in conditions
+                          for index in condition.component_ids()}
+        touched = frozenset(index for index, components
+                            in enumerate(cluster_components)
+                            if components & row_components)
+        contributions = [Contribution((PRESENCE_TAG,), condition,
+                                      (True,) + group_identity)
+                         for condition in conditions]
+        for index in touched:
+            contributions += [
+                Contribution(c.key, c.condition,
+                             (exists.identity,) + c.delta)
+                for c in clusters[index]]
+        local_engine = _aggregator(executor, working, specs)
+        joint = local_engine.answer_distribution(contributions)
+        # Each mini mapping: was the row present, and what did the touched
+        # clusters contribute to the group answer?
+        touched_cases: dict[tuple, tuple[bool, bool]] = {}
+        for mapping, _mass in joint.items():
+            present = False
+            group_part: dict[tuple, tuple] = {}
+            for key, state in mapping:
+                if key == (PRESENCE_TAG,):
+                    present = bool(state[0])
+                else:
+                    group_part[key] = state[1:]
+            part = tuple(sorted(group_part.items(),
+                                key=lambda item: repr(item[0])))
+            some, all_ = touched_cases.get(part, (False, True))
+            touched_cases[part] = (some or present, all_ and present)
         seen_present: dict[tuple, bool] = {}
         seen_all: dict[tuple, bool] = {}
-        for mapping, _mass in joint.items():
-            states = dict(mapping)
-            present = bool(states.get((PRESENCE_TAG,), (False,))[0])
-            fingerprint = tuple(group_fn.decode(states, offset=1))
-            seen_present[fingerprint] = seen_present.get(fingerprint,
-                                                         False) or present
-            seen_all[fingerprint] = seen_all.get(fingerprint, True) and present
+        for part, (some, all_) in touched_cases.items():
+            for rest in untouched_product(touched):
+                fingerprint = fingerprint_of(
+                    engine.merge_mappings(part, rest))
+                seen_present[fingerprint] = \
+                    seen_present.get(fingerprint, False) or some
+                seen_all[fingerprint] = \
+                    seen_all.get(fingerprint, True) and all_
         for fingerprint in order:
             if seen_present.get(fingerprint, False):
                 possible[fingerprint].add(row)

@@ -20,9 +20,17 @@ The grammar deliberately stays inside the intersection of both backends'
 supported surfaces (e.g. no DML on uncertain relations, which only the
 explicit backend accepts), so a divergence is always a bug, never a known
 capability gap.
+
+The example budget honours ``REPRO_FUZZ_EXAMPLES``: unset (the default) keeps
+the quick PR budget; the nightly CI job sets it to 1000+ for an extended
+sweep.  On a failure Hypothesis prints the falsifying program *and* the
+``@reproduce_failure`` blob (``print_blob``), so a nightly catch is
+reproducible locally with one decorator.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -32,6 +40,15 @@ from repro.errors import ReproError
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, Schema
 from repro.relational.types import SqlType
+
+
+#: Example budget override for the nightly extended sweep (0 = defaults).
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "0") or 0)
+
+
+def fuzz_examples(default: int) -> int:
+    """The per-test example budget: the env override, or *default*."""
+    return FUZZ_EXAMPLES if FUZZ_EXAMPLES > 0 else default
 
 
 # -- workload generation -------------------------------------------------------------------
@@ -288,7 +305,7 @@ class TestDifferentialFuzz:
     """Random programs must agree statement-by-statement across backends."""
 
     @given(program())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=fuzz_examples(60), deadline=None, print_blob=True)
     def test_backends_agree_on_random_programs(self, workload):
         relation, statements = workload
         explicit = MayBMS({"R": relation.copy()}, backend="explicit")
@@ -306,7 +323,7 @@ class TestDifferentialFuzz:
             assert_statement_parity(statement_sql, expected, actual)
 
     @given(program())
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=fuzz_examples(20), deadline=None, print_blob=True)
     def test_enumerate_grouping_mode_agrees(self, workload):
         """The guarded enumerate baseline must match the native engines on
         the same random programs (native vs enumerate differential)."""

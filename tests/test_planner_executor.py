@@ -198,3 +198,19 @@ class TestExecutorInternals:
         with pytest.raises(UnsupportedFeatureError):
             db_figure1.execute(
                 "select possible C from R choice of A union select C from S;")
+
+
+class TestSharedPlanEdgeCases:
+    def test_empty_world_set_returns_empty_answers_star_and_starless(self):
+        """The shared-plan path must not index worlds[0] on an empty
+        world-set: star and star-free selects both return empty answers."""
+        from repro import MayBMS
+        from repro.worldset.worldset import WorldSet
+
+        db = MayBMS()
+        db.create_table("R", ["A"], [(1,)])
+        db.world_set = WorldSet([])
+        for sql in ("select A from R;", "select * from R;"):
+            result = db.execute(sql)
+            assert result.is_world_rows()
+            assert result.world_answers == []

@@ -1,0 +1,396 @@
+"""The serving layer: prepared statements, parameters, caches, HTTP server.
+
+Covers the compile-once path end to end: ``?`` parameter parsing and
+binding, read/write classification, the session's LRU statement cache
+behind plain ``execute``, compiled-plan reuse on the wsd backend,
+generation-keyed cache invalidation across DML, and the JSON/HTTP front
+end (``repro.serving.server``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import AnalysisError, ExpressionError, ReproError
+from repro.serving import (
+    MayBMSServer,
+    PreparedStatement,
+    StatementCache,
+    statement_is_read,
+)
+from repro.sqlparser.parser import parse_prepared, parse_statement
+
+SETUP = """
+create table R (A varchar, B integer, C varchar, D integer);
+insert into R values ('a1', 10, 'c1', 2);
+insert into R values ('a1', 15, 'c2', 6);
+insert into R values ('a2', 25, 'c3', 4);
+insert into R values ('a2', 20, 'c4', 5);
+create table I as select A, B, C from R repair by key A weight D;
+"""
+
+
+def build_session(backend: str = "wsd") -> MayBMS:
+    db = MayBMS(backend=backend)
+    db.execute_script(SETUP)
+    return db
+
+
+class TestParameterParsing:
+    def test_parse_prepared_counts_placeholders(self):
+        statement, count = parse_prepared(
+            "select A from R where B > ? and C = ?;")
+        assert count == 2
+        assert statement.where.sql() == "((B > ?1) and (C = ?2))"
+
+    def test_statements_without_parameters_count_zero(self):
+        _, count = parse_prepared("select A from R;")
+        assert count == 0
+
+    def test_unbound_parameter_raises(self):
+        db = build_session()
+        # Executing parameterised SQL without arguments is an arity error at
+        # the session layer ...
+        with pytest.raises(AnalysisError, match="expects 1 parameter"):
+            db.execute("select conf from I where B > ?;")
+        # ... and an unbound-parameter error when a raw parsed AST bypasses
+        # the prepared-statement layer entirely.
+        with pytest.raises(ExpressionError, match="unbound"):
+            db.execute_statement(
+                parse_statement("select conf from I where B > ?;"))
+
+    def test_parameters_rejected_in_create_view(self):
+        """A view body evaluates later, under the *querying* statement's
+        binding — a '?' there would silently rebind, so it parses as an
+        error instead."""
+        from repro.errors import ParseError
+
+        db = build_session()
+        with pytest.raises(ParseError, match="not allowed in CREATE VIEW"):
+            db.execute("create view V as select A from I where B > ?;", (20,))
+        # CREATE TABLE AS evaluates immediately: parameters are fine there.
+        db.execute("create table T2 as select A, B from R where B > ?;",
+                   (12,))
+        tuples = db.backend.decomposition.template.relation_tuples("T2")
+        assert sorted(t.cells for t in tuples) == \
+            [("a1", 15), ("a2", 20), ("a2", 25)]
+
+    def test_classification(self):
+        assert statement_is_read(parse_statement("select A from R;"))
+        assert statement_is_read(
+            parse_statement("select A from R union select A from R;"))
+        assert not statement_is_read(
+            parse_statement("insert into R values (1);"))
+        assert not statement_is_read(
+            parse_statement("create table T as select A from R;"))
+        assert not statement_is_read(parse_statement("drop table R;"))
+
+
+class TestPreparedExecution:
+    @pytest.mark.parametrize("backend", ["explicit", "wsd"])
+    def test_parameter_binding_matches_literals(self, backend):
+        db = build_session(backend)
+        prepared = db.prepare("select conf from I where B > ?;")
+        for threshold in (5, 12, 21, 26):
+            expected = db.execute(f"select conf from I where B > {threshold};")
+            assert prepared.execute((threshold,)).scalar() == \
+                pytest.approx(expected.scalar(), abs=1e-9)
+
+    def test_wrong_arity_raises(self):
+        db = build_session()
+        prepared = db.prepare("select conf from I where B > ?;")
+        with pytest.raises(AnalysisError, match="expects 1 parameter"):
+            prepared.execute(())
+        with pytest.raises(AnalysisError, match="expects 1 parameter"):
+            prepared.execute((1, 2))
+
+    def test_parameters_in_dml(self):
+        db = build_session()
+        insert = db.prepare("insert into R values (?, ?, ?, ?);")
+        assert not insert.is_read
+        result = insert.execute(("a9", 99, "c9", 1))
+        assert result.rowcount == 1
+        rows = db.execute("select B from R where A = ?;", ("a9",))
+        answer = rows.answer_decomposition()
+        tuples = answer.template.relation_tuples(rows.relation_name)
+        assert [t.cells for t in tuples] == [(99,)]
+
+    def test_parameters_in_aggregates(self):
+        db = build_session()
+        prepared = db.prepare(
+            "select possible sum(B) from I where B > ?;")
+        expected = db.execute("select possible sum(B) from I where B > 12;")
+        assert sorted(prepared.execute((12,)).rows()) == \
+            sorted(expected.rows())
+
+    def test_repeated_prepare_returns_same_object(self):
+        db = build_session()
+        first = db.prepare("select conf from I where B > ?;")
+        assert db.prepare("select conf from I where B > ?;") is first
+
+    def test_execute_transparently_reuses_prepared(self):
+        db = build_session()
+        hits_before = db.statement_cache.hits
+        db.execute("select conf from I;")
+        db.execute("select conf from I;")
+        db.execute("select conf from I;")
+        assert db.statement_cache.hits >= hits_before + 2
+
+    def test_prepared_execution_reuses_grounding(self):
+        db = build_session()
+        prepared = db.prepare("select conf from I where B > ?;")
+        prepared.execute((5,))
+        hits_before = db.backend.stats.ground_cache_hits
+        prepared.execute((12,))
+        assert db.backend.stats.ground_cache_hits > hits_before
+
+    def test_prepared_plans_warm_on_first_execution(self):
+        db = build_session()
+        prepared = db.prepare("select possible A, sum(B) from I group by A;")
+        assert prepared.plans == {}
+        prepared.execute()
+        assert len(prepared.plans) == 1
+        (query, plan), = prepared.plans.values()
+        assert query is prepared.statement
+        assert plan is not None and plan.kind == "aggregate"
+        # The second execution reuses the compiled plan object.
+        prepared.execute()
+        (query2, plan2), = prepared.plans.values()
+        assert plan2 is plan
+
+    def test_plan_cache_stays_bounded_on_derived_asts(self):
+        """`group worlds by` analyses a per-execution derived main AST; the
+        plan cache must cap instead of pinning one entry per execution."""
+        db = build_session()
+        prepared = db.prepare(
+            "select possible B from I "
+            "group worlds by (select count(*) from I where B > 12);")
+        for _ in range(80):
+            prepared.execute()
+        assert len(prepared.plans) <= 32
+
+    def test_generation_bump_invalidates_answers(self):
+        db = build_session()
+        prepared = db.prepare("select conf from I where B > ?;")
+        before = prepared.execute((21,)).scalar()
+        generation = db.state_generation
+        db.execute("insert into R values ('a3', 30, 'c5', 1);")
+        db.execute("create table I as "
+                   "select A, B, C from R repair by key A weight D;")
+        assert db.state_generation == generation + 2
+        after = prepared.execute((21,)).scalar()
+        assert after != before  # a3 always contributes B=30 > 21
+        assert after == pytest.approx(1.0, abs=1e-9)
+
+    def test_write_statements_bump_generation(self):
+        db = build_session()
+        generation = db.state_generation
+        result, seen = db.prepare(
+            "insert into R values ('a7', 7, 'c7', 1);"
+        ).execute_with_generation(())
+        assert seen == generation + 1
+        _, read_seen = db.prepare(
+            "select conf from I;").execute_with_generation(())
+        assert read_seen == seen
+
+    def test_failed_writes_do_not_bump_generation(self):
+        """Generation counts *completed* writes: a write that raises leaves
+        the state — and therefore the counter — unchanged."""
+        db = build_session()
+        db.execute("create table K1 (X integer, primary key (X));")
+        db.execute("insert into K1 values (1);")
+        generation = db.state_generation
+        with pytest.raises(ReproError):
+            db.execute("insert into K1 values (1);")  # duplicate key
+        assert db.state_generation == generation
+        with pytest.raises(ReproError):
+            db.execute_statement(
+                parse_statement("insert into K1 values (1);"))
+        assert db.state_generation == generation
+        db.execute("insert into K1 values (2);")
+        assert db.state_generation == generation + 1
+
+
+class TestStatementCache:
+    def test_lru_eviction(self):
+        cache = StatementCache(capacity=2)
+        db = build_session()
+        statements = [db.prepare(f"select conf from I where B > {i};")
+                      for i in range(3)]
+        del statements
+        # Session cache has its own capacity; exercise the LRU directly.
+        a = PreparedStatement(db.backend, db.lock, "a",
+                              parse_statement("select A from R;"), 0)
+        b = PreparedStatement(db.backend, db.lock, "b",
+                              parse_statement("select B from R;"), 0)
+        c = PreparedStatement(db.backend, db.lock, "c",
+                              parse_statement("select C from R;"), 0)
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refresh "a"
+        cache.put("c", c)           # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") is a and cache.get("c") is c
+
+    def test_session_cache_capacity_is_configurable(self):
+        db = MayBMS(backend="wsd", statement_cache_size=2)
+        db.create_table("T", ["X"], [(1,), (2,)])
+        for i in range(5):
+            db.execute(f"select X from T where X > {i};")
+        assert len(db.statement_cache) <= 2
+
+
+class TestServer:
+    @pytest.fixture
+    def server(self):
+        db = build_session()
+        server = MayBMSServer(db, port=0)
+        thread = threading.Thread(target=server.httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+
+    def _post(self, server, sql, params=()):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/query",
+            data=json.dumps({"sql": sql, "params": list(params)}).encode(),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def _get(self, server, path):
+        host, port = server.address
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as response:
+            return json.load(response)
+
+    def test_query_roundtrip(self, server):
+        status, payload = self._post(server,
+                                     "select conf from I where B > ?;", (12,))
+        assert status == 200
+        assert payload["kind"] == "rows"
+        assert payload["columns"] == ["conf"]
+        assert payload["rows"][0][0] == pytest.approx(1.0)
+
+    def test_repeated_statements_hit_the_cache(self, server):
+        for _ in range(3):
+            self._post(server, "select conf from I where B > ?;", (12,))
+        stats = self._get(server, "/stats")
+        assert stats["statement_cache"]["hits"] >= 2
+
+    def test_health(self, server):
+        payload = self._get(server, "/health")
+        assert payload["ok"] is True
+        assert payload["backend"] == "wsd"
+        assert "I" in payload["tables"]
+
+    def test_engine_errors_are_400(self, server):
+        status, payload = self._post(server, "select nonsense from nowhere;")
+        assert status == 400
+        assert "error" in payload and payload["type"]
+
+    def test_keep_alive_survives_404_with_body(self, server):
+        """A POST to a wrong path must drain its body, or the next request
+        on the same keep-alive connection desyncs."""
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("POST", "/nope",
+                               body=b'{"sql": "select 1;"}',
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            connection.request(
+                "POST", "/query",
+                body=json.dumps({"sql": "select conf from I;",
+                                 "params": []}).encode(),
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+            assert payload["kind"] == "rows"
+        finally:
+            connection.close()
+
+    def test_keep_alive_survives_get_with_body(self, server):
+        """A GET carrying a body must drain it too (same desync hazard)."""
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/health", body=b"extra")
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+            connection.request(
+                "POST", "/query",
+                body=json.dumps({"sql": "select conf from I;",
+                                 "params": []}).encode(),
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 200
+        finally:
+            connection.close()
+
+    def test_non_object_bodies_are_400_not_connection_drops(self, server):
+        """Valid JSON that is not {'sql': ...} must still get a JSON 400."""
+        host, port = server.address
+        for body in (b"[1]", b'"hello"', b"42", b'{"sql": 7}'):
+            request = urllib.request.Request(
+                f"http://{host}:{port}/query", data=body,
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            payload = json.load(excinfo.value)
+            assert "error" in payload
+
+    def test_concurrent_requests_agree(self, server):
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(self._post(
+                    server, "select conf from I where B > ?;", (12,)))
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        assert all(status == 200 for status, _ in results)
+        values = {payload["rows"][0][0] for _, payload in results}
+        assert values == {1.0}
+
+
+class TestServeEntryPoint:
+    def test_unknown_dataset_raises(self):
+        from repro.__main__ import _load
+
+        with pytest.raises(ReproError):
+            _load("nope")
+
+    def test_figure3_requires_explicit(self):
+        from repro.__main__ import _load
+
+        with pytest.raises(ReproError):
+            _load("figure3", backend="wsd")
