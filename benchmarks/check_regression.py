@@ -77,6 +77,11 @@ BENCHES = {
         "latency": ["wall ms"],
         "counters": [],
     },
+    "BENCH_APPROX1": {
+        "key": ["point"],
+        "latency": ["exact ms", "rare anytime ms", "dense anytime ms"],
+        "counters": ["samples"],
+    },
     "BENCH_ABL1": {
         "key": ["point"],
         "latency": [],

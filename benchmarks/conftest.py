@@ -138,6 +138,25 @@ def scale4_grouping_parameters() -> dict:
             "joint_limit": None, "payload_domain": 6}
 
 
+def approx1_parameters() -> dict:
+    """Parameters for the APPROX-1 graceful-degradation sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation; the
+    correlated self-join makes the joint space ``2 ** groups``).  The
+    strict leg runs under deliberately tiny resource budgets
+    (``budgets``), so every point is a forced overrun; the anytime leg
+    answers the same refused query by sampling, with ``max_samples`` /
+    ``epsilon`` bounding its work.
+    """
+    if BENCH_SMOKE:
+        return {"groups": (8, 12), "budgets": {"enumeration_limit": 64,
+                                               "dtree_nodes": 16},
+                "max_samples": 8192, "epsilon": 0.02}
+    return {"groups": (8, 16, 24, 32), "budgets": {"enumeration_limit": 64,
+                                                   "dtree_nodes": 16},
+            "max_samples": 40000, "epsilon": 0.01}
+
+
 def scale5_serving_parameters() -> dict:
     """Parameters for the SCALE-5 serving (prepared statements) sweep.
 

@@ -37,15 +37,18 @@ Quickstart::
 from .core.backends import ExecutionBackend, ExplicitBackend, WsdBackend
 from .core.results import StatementResult, WorldAnswer
 from .core.session import MayBMS
+from .core.options import QueryOptions
 from .errors import (
     AnalysisError,
     ConstraintViolationError,
+    DeadlineExceededError,
     EnumerationLimitError,
     ExecutionError,
     ExpressionError,
     ParseError,
     ProbabilityError,
     ReproError,
+    ResourceBudgetError,
     SchemaError,
     UnknownColumnError,
     UnknownRelationError,
@@ -59,14 +62,19 @@ from .relational.types import SqlType
 from .serving import GenerationRWLock, MayBMSServer, PreparedStatement
 from .worldset.world import World
 from .worldset.worldset import WorldSet
+from .wsd.approximate import AnytimeBudget, ApproximateConfidence
+from .wsd.budgets import ResourceBudgets
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "AnytimeBudget",
+    "ApproximateConfidence",
     "Catalog",
     "Column",
     "ConstraintViolationError",
+    "DeadlineExceededError",
     "EnumerationLimitError",
     "ExecutionBackend",
     "ExecutionError",
@@ -78,8 +86,11 @@ __all__ = [
     "ParseError",
     "PreparedStatement",
     "ProbabilityError",
+    "QueryOptions",
     "Relation",
     "ReproError",
+    "ResourceBudgetError",
+    "ResourceBudgets",
     "Schema",
     "SchemaError",
     "SqlType",

@@ -20,6 +20,7 @@ the differential test suite (``tests/test_wsd_executor_parity.py``) does.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from typing import Any, Iterable, Sequence
 
 from ..errors import (
@@ -51,6 +52,8 @@ from ..sqlparser.ast_nodes import (
     Update,
 )
 from ..worldset.worldset import WorldSet
+from ..wsd.approximate import AnytimeBudget
+from ..wsd.budgets import ResourceBudgets
 from ..wsd.construct import add_certain_relation
 from ..wsd.decomposition import (
     DEFAULT_ENUMERATION_LIMIT,
@@ -69,6 +72,7 @@ from ..wsd.execute import (
     relation_is_certain,
 )
 from .executor import TRANSIENT_PREFIX, Executor, WorldQueryResult
+from .options import QueryOptions
 from .planner import Planner
 from .results import StatementResult, WorldAnswer
 
@@ -118,15 +122,28 @@ class ExecutionBackend:
 
     # -- statement execution --------------------------------------------------------------
 
+    #: The per-engine guard values this backend runs under (the explicit
+    #: backend stores them for reporting only; the wsd backend enforces
+    #: them).
+    budgets: ResourceBudgets
+    #: Graceful-degradation default: ``"strict"`` refuses over-budget
+    #: shapes with a structured :class:`~repro.errors.ResourceBudgetError`;
+    #: ``"anytime"`` degrades them to the approximate sampling tier.
+    degradation: str
+
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None
+                          prepared_plans: dict | None = None,
+                          options: QueryOptions | None = None
                           ) -> StatementResult:
         """Execute one parsed statement.
 
         *prepared_plans* is the per-thread compiled-plan cache of a
         :class:`~repro.serving.prepared.PreparedStatement` (query id ->
         analysed aggregate/grouping plan); backends that compile plans pass
-        it down so repeated executions skip shape analysis.
+        it down so repeated executions skip shape analysis.  *options*
+        carries per-request overrides (deadline, target ε, degradation
+        mode); backends without an approximate tier accept and ignore the
+        sampling-related fields.
         """
         raise NotImplementedError
 
@@ -163,13 +180,24 @@ def _reorder_row(schema: Schema, row: tuple,
 
 
 def create_backend(kind: str,
-                   catalog: Catalog | dict[str, Relation] | None = None
+                   catalog: Catalog | dict[str, Relation] | None = None,
+                   budgets: ResourceBudgets | dict | None = None,
+                   degradation: str = "strict",
+                   anytime: AnytimeBudget | None = None
                    ) -> ExecutionBackend:
-    """Instantiate the backend named *kind* (``"explicit"`` or ``"wsd"``)."""
+    """Instantiate the backend named *kind* (``"explicit"`` or ``"wsd"``).
+
+    *budgets* / *degradation* / *anytime* configure graceful degradation
+    (see :class:`WsdBackend`); the explicit backend stores them so the
+    serving layer reports one shape, but enforces none of them — its cost
+    is the world count itself.
+    """
     if kind == "explicit":
-        return ExplicitBackend(catalog)
+        return ExplicitBackend(catalog, budgets=budgets,
+                               degradation=degradation)
     if kind == "wsd":
-        return WsdBackend(catalog)
+        return WsdBackend(catalog, budgets=budgets, degradation=degradation,
+                          anytime=anytime)
     raise AnalysisError(
         f"unknown backend {kind!r} (expected 'explicit' or 'wsd')")
 
@@ -179,8 +207,9 @@ class ExplicitBackend(ExecutionBackend):
 
     name = "explicit"
 
-    def __init__(self, catalog: Catalog | dict[str, Relation] | None = None
-                 ) -> None:
+    def __init__(self, catalog: Catalog | dict[str, Relation] | None = None,
+                 budgets: ResourceBudgets | dict | None = None,
+                 degradation: str = "strict") -> None:
         if catalog is None:
             catalog = Catalog()
         elif isinstance(catalog, dict):
@@ -190,6 +219,12 @@ class ExplicitBackend(ExecutionBackend):
         self.world_set: WorldSet = WorldSet.single(catalog, label="A")
         self.views = {}
         self.primary_keys = {}
+        self.budgets = ResourceBudgets.coerce(budgets)
+        if degradation not in ("strict", "anytime"):
+            raise AnalysisError(
+                f"unknown degradation mode {degradation!r} "
+                "(expected 'strict' or 'anytime')")
+        self.degradation = degradation
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -235,10 +270,13 @@ class ExplicitBackend(ExecutionBackend):
     # -- statement execution --------------------------------------------------------------------
 
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None
+                          prepared_plans: dict | None = None,
+                          options: QueryOptions | None = None
                           ) -> StatementResult:
         # The explicit backend plans per world from scratch (star expansion
-        # needs each world's catalog), so prepared plans do not apply.
+        # needs each world's catalog), so prepared plans do not apply; it
+        # has no approximate tier either, so options only get validated.
+        QueryOptions.coerce(options)
         if isinstance(statement, (SelectQuery, CompoundQuery)):
             return self._execute_query(statement)
         if isinstance(statement, CreateTableAs):
@@ -485,7 +523,10 @@ class WsdBackend(ExecutionBackend):
                  enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT,
                  confidence_engine: str = "dtree",
                  aggregate_engine: str = "convolution",
-                 grouping_engine: str = "native") -> None:
+                 grouping_engine: str = "native",
+                 budgets: ResourceBudgets | dict | None = None,
+                 degradation: str = "strict",
+                 anytime: AnytimeBudget | None = None) -> None:
         template = Template()
         if catalog is not None:
             if isinstance(catalog, dict):
@@ -495,7 +536,27 @@ class WsdBackend(ExecutionBackend):
         self.decomposition = WorldSetDecomposition(template, [])
         self.views = {}
         self.primary_keys = {}
-        self.enumeration_limit = enumeration_limit
+        #: The per-engine guard bundle; an explicit ``budgets`` argument
+        #: wins, otherwise the legacy ``enumeration_limit`` argument seeds
+        #: the bundle's limit.
+        if budgets is None:
+            self.budgets = ResourceBudgets(
+                enumeration_limit=enumeration_limit)
+        else:
+            self.budgets = ResourceBudgets.coerce(budgets)
+        if degradation not in ("strict", "anytime"):
+            raise AnalysisError(
+                f"unknown degradation mode {degradation!r} "
+                "(expected 'strict' or 'anytime')")
+        #: ``"strict"`` raises structured
+        #: :class:`~repro.errors.ResourceBudgetError` refusals when every
+        #: exact tier is over budget; ``"anytime"`` degrades those shapes to
+        #: the Monte-Carlo sampling tier (answers then carry ``approximate``
+        #: metadata).  Per-request options can override either way.
+        self.degradation = degradation
+        #: The session-level anytime sampling budget (per-request options
+        #: refine it via :meth:`QueryOptions.resolve_budget`).
+        self.anytime = anytime if anytime is not None else AnytimeBudget()
         #: How ``conf`` / ``certain`` disjunctions are evaluated: ``"dtree"``
         #: (the exact d-tree engine, default), ``"enumerate"`` (the guarded
         #: joint-enumeration baseline) or ``"cross-check"`` (d-tree verified
@@ -533,6 +594,21 @@ class WsdBackend(ExecutionBackend):
         #: order and their counters accumulate under this mutex (the answers
         #: themselves are protected by the session's read/write lock).
         self._stats_lock = threading.Lock()
+
+    @property
+    def enumeration_limit(self) -> int | None:
+        """Legacy alias for ``budgets.enumeration_limit``.
+
+        Kept writable so existing callers (and the benchmark baselines)
+        that assign ``backend.enumeration_limit`` keep steering the
+        enforced guard — the assignment writes through to the budget
+        bundle the executors actually read.
+        """
+        return self.budgets.enumeration_limit
+
+    @enumeration_limit.setter
+    def enumeration_limit(self, value: int | None) -> None:
+        self.budgets = replace(self.budgets, enumeration_limit=value)
 
     # -- programmatic catalog management ------------------------------------------------------
 
@@ -600,12 +676,15 @@ class WsdBackend(ExecutionBackend):
     # -- statement execution --------------------------------------------------------------------
 
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None
+                          prepared_plans: dict | None = None,
+                          options: QueryOptions | None = None
                           ) -> StatementResult:
+        options = QueryOptions.coerce(options)
         if isinstance(statement, (SelectQuery, CompoundQuery)):
-            return self._execute_query(statement, prepared_plans)
+            return self._execute_query(statement, prepared_plans, options)
         if isinstance(statement, CreateTableAs):
-            return self._execute_create_table_as(statement, prepared_plans)
+            return self._execute_create_table_as(statement, prepared_plans,
+                                                 options)
         if isinstance(statement, CreateView):
             return self._execute_create_view(statement)
         if isinstance(statement, CreateTable):
@@ -636,14 +715,19 @@ class WsdBackend(ExecutionBackend):
 
     # -- queries -------------------------------------------------------------------------------------
 
-    def _executor(self, plan_cache: dict | None = None) -> WSDExecutor:
+    def _executor(self, plan_cache: dict | None = None,
+                  options: QueryOptions | None = None) -> WSDExecutor:
+        options = QueryOptions.coerce(options)
         return WSDExecutor(self.decomposition, self.views,
-                           enumeration_limit=self.enumeration_limit,
                            confidence=self.confidence_engine,
                            aggregates=self.aggregate_engine,
                            world_grouping=self.grouping_engine,
                            ground_cache=self._ground_cache,
-                           plan_cache=plan_cache)
+                           plan_cache=plan_cache,
+                           budgets=self.budgets,
+                           degradation=options.resolve_degradation(
+                               self.degradation),
+                           anytime=options.resolve_budget(self.anytime))
 
     def _merge_stats(self, executor: WSDExecutor) -> None:
         with self._stats_lock:
@@ -652,22 +736,32 @@ class WsdBackend(ExecutionBackend):
             self.aggregate_stats.merge(executor.aggregate_stats)
 
     def _execute_query(self, query: Query,
-                       plan_cache: dict | None = None) -> StatementResult:
-        executor = self._executor(plan_cache)
+                       plan_cache: dict | None = None,
+                       options: QueryOptions | None = None
+                       ) -> StatementResult:
+        executor = self._executor(plan_cache, options)
         try:
             result = executor.evaluate_query(query)
         finally:
             self._merge_stats(executor)
+        approximation = executor.approximation_summary()
+        approximate = approximation is not None
         if result.kind == "rows":
-            return StatementResult(kind="rows", relation=result.relation)
+            return StatementResult(kind="rows", relation=result.relation,
+                                   approximate=approximate,
+                                   approximation=approximation)
         if result.kind == "wsd":
             return StatementResult(kind="wsd_rows",
                                    decomposition=result.decomposition,
-                                   relation_name=result.relation_name)
+                                   relation_name=result.relation_name,
+                                   approximate=approximate,
+                                   approximation=approximation)
         if result.kind == "distribution":
             answers = [WorldAnswer(None, mass, relation)
                        for mass, relation in result.distribution]
-            return StatementResult(kind="world_rows", world_answers=answers)
+            return StatementResult(kind="world_rows", world_answers=answers,
+                                   approximate=approximate,
+                                   approximation=approximation)
         # Guarded fallback to the explicit engine.
         outcome = result.explicit
         if outcome.collected is not None:
@@ -680,11 +774,14 @@ class WsdBackend(ExecutionBackend):
                                world_set=outcome.world_set)
 
     def _execute_create_table_as(self, statement: CreateTableAs,
-                                 plan_cache: dict | None = None
+                                 plan_cache: dict | None = None,
+                                 options: QueryOptions | None = None
                                  ) -> StatementResult:
         # CREATE TABLE AS replaces an existing relation of the same name,
         # mirroring the explicit backend's materialisation semantics.
-        executor = self._executor(plan_cache)
+        # Install paths never sample (see _iter_query_joints), so the
+        # options only arm confidence-side degradation and the deadline.
+        executor = self._executor(plan_cache, options)
         try:
             self.decomposition = executor.evaluate_for_install(
                 statement.name, statement.query)

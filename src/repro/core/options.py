@@ -1,0 +1,131 @@
+"""Per-request execution options: deadlines, error budgets, degradation.
+
+A :class:`QueryOptions` travels with one statement execution — from the
+serving layer's ``POST /query`` body (``{"timeout_ms": ..., "epsilon": ...,
+"degradation": ...}``), through :meth:`repro.core.session.MayBMS.execute`
+and the prepared-statement path, down to the backend — and overrides the
+session-level graceful-degradation configuration for that one request.
+
+All fields default to ``None`` (inherit the session's setting), so a plain
+``execute(sql)`` behaves exactly as before this module existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..wsd.approximate import AnytimeBudget
+
+__all__ = ["QueryOptions"]
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Overrides for one statement execution (``None`` inherits).
+
+    Attributes
+    ----------
+    degradation:
+        ``"anytime"`` lets budget-exceeded shapes degrade to the sampling
+        tier for this request; ``"strict"`` forces the structured refusal.
+    epsilon:
+        Target half-width of approximate confidence intervals.
+    timeout_ms:
+        Wall-clock deadline for this request; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` (HTTP 408 at the
+        serving layer) carrying the partial estimate when one exists.
+    max_samples:
+        Cap on Monte-Carlo samples per estimate.
+    seed:
+        Base seed of the deterministic sampler.
+    confidence_level:
+        Coverage level of reported intervals.
+    """
+
+    degradation: Optional[str] = None
+    epsilon: Optional[float] = None
+    timeout_ms: Optional[float] = None
+    max_samples: Optional[int] = None
+    seed: Optional[int] = None
+    confidence_level: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.degradation is not None \
+                and self.degradation not in ("strict", "anytime"):
+            raise AnalysisError(
+                f"unknown degradation mode {self.degradation!r} "
+                "(expected 'strict' or 'anytime')")
+        for name, kinds in (("epsilon", (int, float)),
+                            ("timeout_ms", (int, float)),
+                            ("max_samples", (int,)),
+                            ("seed", (int,)),
+                            ("confidence_level", (int, float))):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, kinds):
+                raise AnalysisError(
+                    f"option {name!r} must be a number, "
+                    f"not {type(value).__name__}")
+        if self.epsilon is not None and not 0.0 < self.epsilon <= 1.0:
+            raise AnalysisError("option 'epsilon' must be in (0, 1]")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise AnalysisError("option 'timeout_ms' must be positive")
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise AnalysisError("option 'max_samples' must be positive")
+        if self.confidence_level is not None \
+                and not 0.0 < self.confidence_level < 1.0:
+            raise AnalysisError(
+                "option 'confidence_level' must be in (0, 1)")
+
+    def is_default(self) -> bool:
+        """True when every field inherits the session configuration."""
+        return all(getattr(self, field.name) is None
+                   for field in fields(self))
+
+    @classmethod
+    def coerce(cls, value: "QueryOptions | dict | None") -> "QueryOptions":
+        """Accept ``None``, a ready instance, or a keyword dict (the JSON
+        request shape); unknown keys raise :class:`AnalysisError`."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {field.name for field in fields(cls)}
+            if unknown:
+                raise AnalysisError(
+                    "unknown option(s): " + ", ".join(sorted(unknown))
+                    + " (expected "
+                    + ", ".join(sorted(field.name for field in fields(cls)))
+                    + ")")
+            return cls(**value)
+        raise AnalysisError(
+            f"options must be a QueryOptions, a dict or None, "
+            f"not {type(value).__name__}")
+
+    def resolve_degradation(self, session_default: str) -> str:
+        """The effective degradation mode for this request."""
+        return (self.degradation if self.degradation is not None
+                else session_default)
+
+    def resolve_budget(self, base: AnytimeBudget) -> AnytimeBudget:
+        """The session's anytime budget with this request's overrides, the
+        deadline armed from ``timeout_ms`` at call time."""
+        budget = base
+        overrides = {}
+        if self.epsilon is not None:
+            overrides["target_epsilon"] = float(self.epsilon)
+        if self.max_samples is not None:
+            overrides["max_samples"] = self.max_samples
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        if self.confidence_level is not None:
+            overrides["confidence_level"] = float(self.confidence_level)
+        if overrides:
+            budget = replace(budget, **overrides)
+        if self.timeout_ms is not None:
+            budget = budget.with_timeout_ms(float(self.timeout_ms))
+        return budget

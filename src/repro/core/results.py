@@ -72,6 +72,15 @@ class StatementResult:
         containing the single relation named ``relation_name``.
     relation_name:
         The name of the answer relation inside ``decomposition``.
+    approximate:
+        True when the answer involved the anytime Monte-Carlo tier — the
+        reported confidences / masses are estimates whose accuracy contract
+        is in ``approximation`` (conf relations then also carry
+        ``conf_low`` / ``conf_high`` interval columns).
+    approximation:
+        The statement-level accuracy contract for approximate answers:
+        worst ``epsilon``, lowest ``confidence_level``, total ``samples``
+        and the ``estimators`` involved.  ``None`` for exact answers.
     """
 
     kind: str
@@ -82,6 +91,8 @@ class StatementResult:
     rowcount: Optional[int] = None
     decomposition: Optional[WorldSetDecomposition] = None
     relation_name: Optional[str] = None
+    approximate: bool = False
+    approximation: Optional[dict] = None
 
     # -- convenience accessors --------------------------------------------------------
 

@@ -49,7 +49,10 @@ from ..sqlparser.ast_nodes import Query, Statement
 from ..sqlparser.parser import parse_prepared, parse_statements
 from ..worldset.worldset import WorldSet
 from ..wsd.decomposition import WorldSetDecomposition
+from ..wsd.approximate import AnytimeBudget
+from ..wsd.budgets import ResourceBudgets
 from .backends import ExplicitBackend, WsdBackend, create_backend
+from .options import QueryOptions
 from .results import StatementResult
 
 __all__ = ["MayBMS"]
@@ -59,10 +62,19 @@ class MayBMS:
     """An in-memory MayBMS instance: world-set state plus I-SQL execution."""
 
     def __init__(self, catalog=None, backend: str = "explicit",
-                 statement_cache_size: int = 64) -> None:
+                 statement_cache_size: int = 64,
+                 budgets: ResourceBudgets | dict | None = None,
+                 degradation: str = "strict",
+                 anytime: AnytimeBudget | None = None) -> None:
         #: The execution backend holding all state (world-set or WSD, views,
-        #: declared keys) and implementing statement execution.
-        self.backend = create_backend(backend, catalog)
+        #: declared keys) and implementing statement execution.  *budgets*
+        #: replaces the engines' hard-coded guard constants per session;
+        #: *degradation* selects what an over-budget shape does (``"strict"``
+        #: refuses with a structured error, ``"anytime"`` degrades to the
+        #: approximate sampling tier) and *anytime* bounds that tier.
+        self.backend = create_backend(backend, catalog, budgets=budgets,
+                                      degradation=degradation,
+                                      anytime=anytime)
         #: The session's read/write lock: prepared reads share it, DDL / DML
         #: take it exclusively, and each completed write bumps its
         #: generation (see :mod:`repro.serving.locks`).
@@ -186,13 +198,18 @@ class MayBMS:
         return prepared
 
     def execute(self, sql: str,
-                parameters: Optional[Sequence[Any]] = None) -> StatementResult:
+                parameters: Optional[Sequence[Any]] = None,
+                options: QueryOptions | dict | None = None
+                ) -> StatementResult:
         """Execute a single I-SQL statement (with optional ``?`` arguments).
 
         Goes through the prepared-statement cache: repeating the same SQL
-        text transparently reuses the compiled statement.
+        text transparently reuses the compiled statement.  *options*
+        carries per-request graceful-degradation overrides (``timeout_ms``,
+        ``epsilon``, ``degradation``, ...); ``None`` inherits the session
+        configuration.
         """
-        return self.prepare(sql).execute(parameters or ())
+        return self.prepare(sql).execute(parameters or (), options)
 
     def execute_script(self, sql: str) -> list[StatementResult]:
         """Parse and execute a semicolon-separated script; return all results."""

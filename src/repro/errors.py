@@ -128,7 +128,71 @@ class DecompositionError(ReproError):
     """Invalid operation on a world-set decomposition."""
 
 
-class EnumerationLimitError(DecompositionError):
+class ResourceBudgetError(ReproError):
+    """Base class of every budget / deadline refusal, machine-readable.
+
+    Each engine guards its worst case with a budget (enumeration limit,
+    d-tree node budget, aggregate state budget, set-operation clause budget)
+    and raises a subclass of this error when the budget is exceeded.  The
+    common attributes let callers — in particular the HTTP serving layer —
+    map every refusal to one structured error shape instead of catching each
+    engine's class ad hoc.
+
+    Attributes
+    ----------
+    kind:
+        Which budget tripped: ``"enumeration"``, ``"dtree-nodes"``,
+        ``"aggregate-states"``, ``"setop-clauses"`` or ``"deadline"``.
+    budget:
+        The configured guard value that was exceeded (seconds for
+        deadlines).
+    observed:
+        The offending measurement (world count, elapsed seconds, ...) when
+        known, else ``None``.
+    """
+
+    kind: str = "budget"
+    budget: object = None
+    observed: object = None
+
+    def __init__(self, message: str, *, kind: str = "budget",
+                 budget: object = None, observed: object = None) -> None:
+        self.kind = kind
+        self.budget = budget
+        self.observed = observed
+        super().__init__(message)
+
+    def payload(self) -> dict:
+        """The structured JSON body the serving layer answers with."""
+        return {"kind": self.kind, "budget": self.budget,
+                "observed": self.observed, "message": str(self)}
+
+
+class DeadlineExceededError(ResourceBudgetError):
+    """A per-request deadline expired before the answer converged.
+
+    Raised cooperatively inside the anytime sampler (and the guarded joint
+    enumeration loops) when an :class:`~repro.wsd.approximate.AnytimeBudget`
+    carries a wall-clock deadline.  ``partial`` holds the best estimate
+    available at expiry (a dict with ``value`` / ``epsilon`` / ``samples``)
+    or ``None`` when nothing converged at all.
+    """
+
+    def __init__(self, budget_seconds: float, elapsed: float,
+                 partial: dict | None = None) -> None:
+        self.partial = partial
+        super().__init__(
+            f"deadline of {budget_seconds * 1000.0:.0f}ms exceeded after "
+            f"{elapsed * 1000.0:.0f}ms before the answer converged",
+            kind="deadline", budget=budget_seconds, observed=elapsed)
+
+    def payload(self) -> dict:
+        body = super().payload()
+        body["partial"] = self.partial
+        return body
+
+
+class EnumerationLimitError(ResourceBudgetError, DecompositionError):
     """An operation refused to enumerate more worlds than its guard allows.
 
     Raised when materialising or jointly enumerating a compactly represented
@@ -153,7 +217,8 @@ class EnumerationLimitError(DecompositionError):
         super().__init__(
             f"refusing to {operation} {world_count} worlds "
             f"(enumeration limit {limit}); pass an explicit higher limit "
-            "if materialisation is really intended")
+            "if materialisation is really intended",
+            kind="enumeration", budget=limit, observed=world_count)
 
 
 class UnsupportedFeatureError(ReproError):

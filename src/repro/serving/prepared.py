@@ -48,6 +48,7 @@ from .locks import GenerationRWLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.backends import ExecutionBackend
+    from ..core.options import QueryOptions
     from ..core.results import StatementResult
 
 __all__ = ["PreparedStatement", "StatementCache", "statement_is_read"]
@@ -94,11 +95,19 @@ class PreparedStatement:
             self._plans.cache = cache
         return cache
 
-    def execute(self, parameters: Sequence[Any] = ()) -> "StatementResult":
-        """Execute with *parameters* bound to the ``?`` placeholders."""
-        return self.execute_with_generation(parameters)[0]
+    def execute(self, parameters: Sequence[Any] = (),
+                options: "QueryOptions | dict | None" = None
+                ) -> "StatementResult":
+        """Execute with *parameters* bound to the ``?`` placeholders.
 
-    def execute_with_generation(self, parameters: Sequence[Any] = ()
+        *options* carries per-request graceful-degradation overrides
+        (deadline, target ε, degradation mode); ``None`` inherits the
+        session configuration.
+        """
+        return self.execute_with_generation(parameters, options)[0]
+
+    def execute_with_generation(self, parameters: Sequence[Any] = (),
+                                options: "QueryOptions | dict | None" = None
                                 ) -> tuple["StatementResult", int]:
         """Execute and also report the state generation the result saw.
 
@@ -118,7 +127,8 @@ class PreparedStatement:
             try:
                 with bound_parameters(parameters):
                     result = self._backend.execute_statement(
-                        self.statement, prepared_plans=self.plans)
+                        self.statement, prepared_plans=self.plans,
+                        options=options)
                 generation = self._lock.generation
             finally:
                 self._lock.release_read()
@@ -127,7 +137,8 @@ class PreparedStatement:
             try:
                 with bound_parameters(parameters):
                     result = self._backend.execute_statement(
-                        self.statement, prepared_plans=self.plans)
+                        self.statement, prepared_plans=self.plans,
+                        options=options)
             except BaseException:
                 # The write failed: the state did not change, so the
                 # completed-write counter must not advance either.

@@ -11,20 +11,35 @@ Endpoints
 ---------
 
 ``POST /query``
-    Body ``{"sql": "...", "params": [...]}`` (``params`` optional).  The SQL
-    may contain ``?`` placeholders; repeated statements hit the session's
-    prepared-statement cache.  Responds with the JSON rendering of the
-    statement result (see :func:`result_payload`).
+    Body ``{"sql": "...", "params": [...]}`` (``params`` optional) plus the
+    optional graceful-degradation keys ``timeout_ms``, ``epsilon``,
+    ``degradation`` (``"strict"`` / ``"anytime"``), ``max_samples``,
+    ``seed`` and ``confidence_level``, which override the session defaults
+    for this one request.  The SQL may contain ``?`` placeholders; repeated
+    statements hit the session's prepared-statement cache.  Responds with
+    the JSON rendering of the statement result (see :func:`result_payload`);
+    approximate answers carry ``"approximate": true`` and an
+    ``"approximation"`` contract (worst ε, confidence level, samples).
 
 ``GET /health``
-    ``{"ok": true, "backend": ..., "generation": ..., "tables": [...]}``.
+    ``{"ok": true, "backend": ..., "generation": ..., "tables": [...],
+    "budgets": {...}, "degradation": ...}`` — the effective resource
+    budgets and degradation default of the session.
 
 ``GET /stats``
     The serving counters: statement-cache hits/misses and, on the wsd
-    backend, the executor strategy / grounding-cache / confidence counters.
+    backend, the executor strategy / grounding-cache / confidence counters
+    (including ``approximate_answers`` / ``sample_counts``).
 
 Errors raised by the engine come back as ``{"error": ..., "type": ...}``
 with status 400; malformed requests get 400 too, unknown paths 404.
+Resource-budget refusals are *structured*: a
+:class:`~repro.errors.ResourceBudgetError` responds 400 (408 for
+deadline expiry) with ``"error"`` being the payload dict ``{"kind",
+"budget", "observed", "message", ...}`` instead of a bare string — a
+client can tell "over budget, retry with degradation=anytime" apart from
+"bad SQL" without parsing prose, and no budget shape ever surfaces as an
+unstructured 500.
 """
 
 from __future__ import annotations
@@ -34,7 +49,7 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
-from ..errors import ReproError
+from ..errors import DeadlineExceededError, ReproError, ResourceBudgetError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import StatementResult
@@ -61,31 +76,35 @@ def _relation_payload(relation) -> dict:
 def result_payload(result: "StatementResult") -> dict:
     """The JSON body for one executed statement."""
     if result.kind == "command":
-        return {"kind": "command", "message": result.message,
-                "rowcount": result.rowcount}
-    if result.is_rows():
+        payload = {"kind": "command", "message": result.message,
+                   "rowcount": result.rowcount}
+    elif result.is_rows():
         payload = _relation_payload(result.relation)
         payload["kind"] = "rows"
-        return payload
-    if result.is_world_rows():
+    elif result.is_world_rows():
         answers = []
         for answer in result.world_answers:
             entry = _relation_payload(answer.relation)
             entry["label"] = answer.label
             entry["probability"] = answer.probability
             answers.append(entry)
-        return {"kind": "world_rows", "answers": answers}
-    # Compact wsd answers: report the representation, not materialised
-    # worlds (that is the whole point of the backend).
-    decomposition = result.decomposition
-    tuples = decomposition.template.relation_tuples(result.relation_name)
-    return {
-        "kind": "wsd_rows",
-        "relation": result.relation_name,
-        "template_tuples": len(tuples),
-        "components": len(decomposition.components),
-        "log10_worlds": decomposition.log10_world_count(),
-    }
+        payload = {"kind": "world_rows", "answers": answers}
+    else:
+        # Compact wsd answers: report the representation, not materialised
+        # worlds (that is the whole point of the backend).
+        decomposition = result.decomposition
+        tuples = decomposition.template.relation_tuples(result.relation_name)
+        payload = {
+            "kind": "wsd_rows",
+            "relation": result.relation_name,
+            "template_tuples": len(tuples),
+            "components": len(decomposition.components),
+            "log10_worlds": decomposition.log10_world_count(),
+        }
+    if result.approximate:
+        payload["approximate"] = True
+        payload["approximation"] = result.approximation
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -135,11 +154,14 @@ class _Handler(BaseHTTPRequestHandler):
         if self._read_body() is None:
             return
         if self.path == "/health":
+            backend = self.session.backend
             self._respond(200, {
                 "ok": True,
                 "backend": self.session.backend_name,
                 "generation": self.session.state_generation,
                 "tables": self.session.table_names(),
+                "budgets": backend.budgets.as_dict(),
+                "degradation": backend.degradation,
             })
             return
         if self.path == "/stats":
@@ -164,13 +186,27 @@ class _Handler(BaseHTTPRequestHandler):
             params = request.get("params", [])
             if not isinstance(sql, str) or not isinstance(params, list):
                 raise ValueError("expected {'sql': str, 'params': list}")
+            options = {name: request[name]
+                       for name in ("degradation", "epsilon", "timeout_ms",
+                                    "max_samples", "seed",
+                                    "confidence_level")
+                       if request.get(name) is not None}
         except (KeyError, TypeError, ValueError,
                 json.JSONDecodeError) as error:
             self._respond(400, {"error": str(error),
                                 "type": type(error).__name__})
             return
         try:
-            result = self.session.execute(sql, params)
+            result = self.session.execute(sql, params,
+                                          options=options or None)
+        except ResourceBudgetError as error:
+            # The structured refusal contract: budget overruns answer with
+            # machine-readable kind/budget/observed (and the partial
+            # estimate on deadline expiry) — never an unstructured 500.
+            status = 408 if isinstance(error, DeadlineExceededError) else 400
+            self._respond(status, {"error": error.payload(),
+                                   "type": type(error).__name__})
+            return
         except ReproError as error:
             self._respond(400, {"error": str(error),
                                 "type": type(error).__name__})

@@ -1,5 +1,11 @@
 """World-set decompositions: the compact representation of large world-sets."""
 
+from .approximate import (
+    AnytimeBudget,
+    AnytimeSampler,
+    ApproximateConfidence,
+    wilson_interval,
+)
 from .aggregate import (
     DEFAULT_STATE_BUDGET,
     AggregateBudgetExceededError,
@@ -7,6 +13,7 @@ from .aggregate import (
     DecomposedAggregator,
     analyse_aggregate_query,
 )
+from .budgets import ResourceBudgets
 from .component import Alternative, Component
 from .confidence import (
     DEFAULT_NODE_BUDGET,
@@ -55,6 +62,9 @@ from .setops import (
 
 __all__ = [
     "AggregateBudgetExceededError",
+    "AnytimeBudget",
+    "AnytimeSampler",
+    "ApproximateConfidence",
     "AggregateStats",
     "Alternative",
     "Component",
@@ -70,6 +80,7 @@ __all__ = [
     "EXISTS_ATTRIBUTE",
     "Field",
     "GroupingUnsupportedError",
+    "ResourceBudgets",
     "SetOpBudgetExceededError",
     "SymTuple",
     "SymbolicRelation",
@@ -95,5 +106,6 @@ __all__ = [
     "is_normalized",
     "normalise_clauses",
     "normalize",
+    "wilson_interval",
     "prune_and_normalize",
 ]

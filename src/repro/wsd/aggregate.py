@@ -50,7 +50,7 @@ from dataclasses import dataclass, field as dataclass_field
 from itertools import product
 from typing import Any, Callable, Optional, Sequence
 
-from ..errors import AggregateError, ReproError
+from ..errors import AggregateError, ResourceBudgetError
 from ..relational.expressions import (
     AggregateCall,
     EvalContext,
@@ -86,14 +86,15 @@ __all__ = [
 DEFAULT_STATE_BUDGET = 200_000
 
 
-class AggregateBudgetExceededError(ReproError):
+class AggregateBudgetExceededError(ResourceBudgetError):
     """The aggregate state space exceeded its budget (correlated shape)."""
 
     def __init__(self, budget: int, reason: str) -> None:
         super().__init__(
             f"decomposed aggregate evaluation exceeded its budget of "
-            f"{budget} ({reason}); falling back to guarded joint enumeration")
-        self.budget = budget
+            f"{budget} ({reason}); falling back to guarded joint enumeration",
+            kind="aggregate-states", budget=budget)
+        self.reason = reason
 
 
 @dataclass
@@ -295,7 +296,7 @@ class DecomposedAggregator:
     """
 
     def __init__(self, components: Sequence, specs: Sequence,
-                 budget: int = DEFAULT_STATE_BUDGET,
+                 budget: int | None = DEFAULT_STATE_BUDGET,
                  stats: AggregateStats | None = None) -> None:
         self.components = components
         self.specs = list(specs)
@@ -326,7 +327,7 @@ class DecomposedAggregator:
         joint = 1
         for index in involved:
             joint *= len(self.components[index])
-        if joint > self.budget:
+        if self.budget is not None and joint > self.budget:
             raise AggregateBudgetExceededError(
                 self.budget, f"cluster joint of {joint} alternatives")
         masses = [self.components[index].effective_probabilities()
@@ -342,7 +343,7 @@ class DecomposedAggregator:
         size = len(distribution)
         if size > self.stats.peak_states:
             self.stats.peak_states = size
-        if size > self.budget:
+        if self.budget is not None and size > self.budget:
             raise AggregateBudgetExceededError(
                 self.budget, f"distribution of {size} states")
 

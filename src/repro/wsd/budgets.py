@@ -1,0 +1,76 @@
+"""Per-session resource budgets for the WSD engines.
+
+Every exact engine guards its worst case with a budget: the executor's joint
+enumeration limit, the d-tree confidence engine's node budget, the decomposed
+aggregate engine's state budget and the native set-operation engine's clause
+budget.  Historically each was a hard-coded module constant; a
+:class:`ResourceBudgets` bundle makes them configurable per session
+(``MayBMS(budgets=...)``) and reportable (``GET /health`` exposes the
+effective values), while keeping the module defaults as the documented
+baseline.
+
+A budget of ``None`` disables the corresponding guard (matching each
+engine's own convention); the set-operation clause budget has no disabled
+form — the expansion it guards is a plain product, so it stays an ``int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..errors import AnalysisError
+from .aggregate import DEFAULT_STATE_BUDGET
+from .confidence import DEFAULT_NODE_BUDGET
+from .decomposition import DEFAULT_ENUMERATION_LIMIT
+from .setops import DEFAULT_CLAUSE_BUDGET
+
+__all__ = ["ResourceBudgets"]
+
+
+@dataclass(frozen=True)
+class ResourceBudgets:
+    """The per-engine guard values one session runs under.
+
+    Attributes
+    ----------
+    enumeration_limit:
+        Maximum worlds / joint component alternatives any guarded
+        enumeration may touch (``None`` disables the guard).
+    dtree_nodes:
+        Maximum d-tree node expansions per confidence evaluation.
+    aggregate_states:
+        Maximum states in any decomposed-aggregate distribution and maximum
+        joint alternatives enumerated within one cluster.
+    setop_clauses:
+        Maximum DNF clauses a single row's presence condition may expand to
+        while the native set-operation engine conjoins / negates.
+    """
+
+    enumeration_limit: int | None = DEFAULT_ENUMERATION_LIMIT
+    dtree_nodes: int | None = DEFAULT_NODE_BUDGET
+    aggregate_states: int | None = DEFAULT_STATE_BUDGET
+    setop_clauses: int = DEFAULT_CLAUSE_BUDGET
+
+    def as_dict(self) -> dict:
+        """The effective values as a plain dict (``/health`` payload)."""
+        return asdict(self)
+
+    @classmethod
+    def coerce(cls, value: "ResourceBudgets | dict | None"
+               ) -> "ResourceBudgets":
+        """Accept ``None`` (defaults), a ready bundle, or a partial dict."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {field for field in cls.__dataclass_fields__}
+            if unknown:
+                raise AnalysisError(
+                    "unknown budget name(s): " + ", ".join(sorted(unknown))
+                    + " (expected "
+                    + ", ".join(sorted(cls.__dataclass_fields__)) + ")")
+            return cls(**value)
+        raise AnalysisError(
+            f"budgets must be a ResourceBudgets, a dict or None, "
+            f"not {type(value).__name__}")

@@ -39,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ResourceBudgetError
 from .component import Component
 
 __all__ = [
@@ -66,15 +66,15 @@ Clause = tuple[Atom, ...]
 DEFAULT_NODE_BUDGET = 200_000
 
 
-class DTreeBudgetExceededError(ReproError):
+class DTreeBudgetExceededError(ResourceBudgetError):
     """The d-tree recursion exceeded its node budget (non-hierarchical DNF)."""
 
     def __init__(self, budget: int) -> None:
         super().__init__(
             f"d-tree evaluation exceeded its node budget of {budget}; "
             "the DNF is too far from hierarchical — fall back to guarded "
-            "joint enumeration")
-        self.budget = budget
+            "joint enumeration",
+            kind="dtree-nodes", budget=budget)
 
 
 @dataclass

@@ -101,6 +101,13 @@ from .aggregate import (
     plan_contributions,
     _ExistsSpec,
 )
+from .approximate import (
+    AnytimeBudget,
+    AnytimeSampler,
+    ApproximateConfidence,
+    wilson_interval,
+)
+from .budgets import ResourceBudgets
 from .component import Alternative, Component
 from .confidence import (
     ConfidenceStats,
@@ -263,7 +270,9 @@ class WsdExecutionStats:
     component-joint grouping — CI asserts this stays zero on the supported
     classes.  ``ground_cache_hits`` / ``ground_cache_misses`` account the
     memoised symbolic grounding (per relation, keyed on the decomposition
-    generation).
+    generation).  ``approximate_answers`` counts statements whose answer
+    involved the anytime Monte-Carlo tier (once per executor, i.e. per
+    statement) and ``sample_counts`` the total samples those estimates drew.
     """
 
     symbolic: int = 0
@@ -276,6 +285,8 @@ class WsdExecutionStats:
     group_fallbacks: int = 0
     ground_cache_hits: int = 0
     ground_cache_misses: int = 0
+    approximate_answers: int = 0
+    sample_counts: int = 0
 
     def merge(self, other: "WsdExecutionStats") -> None:
         """Accumulate *other* into this counter set."""
@@ -289,6 +300,8 @@ class WsdExecutionStats:
         self.group_fallbacks += other.group_fallbacks
         self.ground_cache_hits += other.ground_cache_hits
         self.ground_cache_misses += other.ground_cache_misses
+        self.approximate_answers += other.approximate_answers
+        self.sample_counts += other.sample_counts
 
 
 @dataclass
@@ -401,11 +414,16 @@ class WSDExecutor:
                  aggregates: str = "convolution",
                  world_grouping: str = "native",
                  ground_cache: dict | None = None,
-                 plan_cache: dict | None = None) -> None:
-        if confidence not in ("dtree", "enumerate", "cross-check"):
+                 plan_cache: dict | None = None,
+                 budgets: ResourceBudgets | None = None,
+                 degradation: str = "strict",
+                 anytime: AnytimeBudget | None = None) -> None:
+        if confidence not in ("dtree", "enumerate", "cross-check",
+                              "approximate"):
             raise AnalysisError(
                 f"unknown confidence mode {confidence!r} "
-                "(expected 'dtree', 'enumerate' or 'cross-check')")
+                "(expected 'dtree', 'enumerate', 'cross-check' "
+                "or 'approximate')")
         if aggregates not in ("convolution", "enumerate"):
             raise AnalysisError(
                 f"unknown aggregate mode {aggregates!r} "
@@ -414,12 +432,32 @@ class WSDExecutor:
             raise AnalysisError(
                 f"unknown world-grouping mode {world_grouping!r} "
                 "(expected 'native' or 'enumerate')")
+        if degradation not in ("strict", "anytime"):
+            raise AnalysisError(
+                f"unknown degradation mode {degradation!r} "
+                "(expected 'strict' or 'anytime')")
         self.base = decomposition
         self.views: dict[str, Query] = {}
         if views:
             for name, query in views.items():
                 self.views[name.lower()] = query
-        self.limit = enumeration_limit
+        #: The per-engine guard values; when no bundle is passed the
+        #: explicit ``enumeration_limit`` argument is honoured for backward
+        #: compatibility, otherwise the bundle's limit wins.
+        if budgets is None:
+            budgets = ResourceBudgets(enumeration_limit=enumeration_limit)
+        self.budgets = budgets
+        self.limit = budgets.enumeration_limit
+        #: ``"strict"`` raises :class:`~repro.errors.ResourceBudgetError`
+        #: when every exact tier is over budget; ``"anytime"`` degrades to
+        #: the Monte-Carlo sampling tier instead, recording the accuracy
+        #: contract in :attr:`approximations`.
+        self.degradation = degradation
+        #: What the anytime tier may spend (samples, target ε, deadline).
+        self.anytime = anytime if anytime is not None else AnytimeBudget()
+        #: Every :class:`ApproximateConfidence` this executor produced, in
+        #: answer order; non-empty marks the statement's result approximate.
+        self.approximations: list[ApproximateConfidence] = []
         self.stats = WsdExecutionStats()
         #: How condition disjunctions are evaluated: ``"dtree"`` (default),
         #: ``"enumerate"`` (the pre-d-tree guarded joint enumeration, kept as
@@ -439,6 +477,8 @@ class WSDExecutor:
         #: component-joint path, kept as the benchmark baseline).
         self.world_grouping = world_grouping
         self._engines: dict[int, tuple[WorldSetDecomposition, DTreeEngine]] = {}
+        self._samplers: dict[int, tuple[WorldSetDecomposition,
+                                        AnytimeSampler]] = {}
         #: Memoised symbolic groundings keyed on (decomposition generation,
         #: relation name); shareable across executors via the constructor so
         #: repeated queries over unchanged tables skip re-grounding.
@@ -978,18 +1018,44 @@ class WSDExecutor:
                        ) -> WSDQueryResult:
         if not query.select_items:
             conditions = [condition for _, conds in bag for condition in conds]
-            mass = (self._condition_probability(working, conditions)
-                    if conditions else 0.0)
+            if conditions:
+                mass, approximation = self._condition_estimate(working,
+                                                               conditions)
+            else:
+                mass, approximation = 0.0, None
+            if approximation is None:
+                return WSDQueryResult(
+                    kind="rows",
+                    relation=_make_relation(Schema([Column("conf")]),
+                                            [(mass,)]))
             return WSDQueryResult(
                 kind="rows",
-                relation=_make_relation(Schema([Column("conf")]), [(mass,)]))
+                relation=_make_relation(
+                    Schema([Column("conf"), Column("conf_low"),
+                            Column("conf_high")]),
+                    [(mass, approximation.low, approximation.high)]))
         merged = _merge_entries([(row, condition)
                                  for row, conds in bag for condition in conds])
-        out_schema = Schema(list(schema.columns) + [Column("conf")])
-        rows = []
+        estimates = []
+        any_approximate = False
         for row, conds in merged.items():
-            mass = self._condition_probability(working, conds)
-            rows.append(row + (mass,))
+            mass, approximation = self._condition_estimate(working, conds)
+            if approximation is not None:
+                any_approximate = True
+            estimates.append((row, mass, approximation))
+        if not any_approximate:
+            out_schema = Schema(list(schema.columns) + [Column("conf")])
+            rows = [row + (mass,) for row, mass, _ in estimates]
+        else:
+            # A mixed answer (some rows exact, some sampled) reports the
+            # interval for every row; exact rows collapse to a point.
+            out_schema = Schema(list(schema.columns)
+                                + [Column("conf"), Column("conf_low"),
+                                   Column("conf_high")])
+            rows = [row + ((mass, mass, mass) if approximation is None
+                           else (mass, approximation.low,
+                                 approximation.high))
+                    for row, mass, approximation in estimates]
         return WSDQueryResult(kind="rows",
                               relation=_make_relation(out_schema, rows))
 
@@ -1013,21 +1079,49 @@ class WSDExecutor:
            executor was built with ``confidence="enumerate"`` (the
            benchmark baseline), or as a verification pass under
            ``confidence="cross-check"``.
+
+        A fourth, *approximate* tier sits behind these under graceful
+        degradation: ``confidence="approximate"`` answers every non-closed
+        shape by anytime Monte-Carlo sampling, and ``degradation="anytime"``
+        routes only the shapes whose exact tiers are all over budget to the
+        sampler instead of raising.  :meth:`_condition_estimate` exposes the
+        accompanying accuracy contract.
+        """
+        return self._condition_estimate(working, conditions)[0]
+
+    def _condition_estimate(self, working: WorldSetDecomposition,
+                            conditions: Sequence[Condition]
+                            ) -> tuple[float, Optional[ApproximateConfidence]]:
+        """``(probability, approximation)`` of a disjunction of conditions.
+
+        The second element is ``None`` whenever the answer is exact; an
+        :class:`ApproximateConfidence` (already recorded on the executor)
+        states the interval when the anytime sampling tier answered.
         """
         if any(condition.is_true() for condition in conditions):
-            return 1.0
+            return 1.0, None
         if not conditions:
-            return 0.0
+            return 0.0, None
         if self.confidence == "enumerate":
-            return self._enumerate_disjunction(working, conditions)[0]
+            try:
+                return self._enumerate_disjunction(working, conditions)[0], \
+                    None
+            except EnumerationLimitError:
+                if self.degradation != "anytime":
+                    raise
+                return self._sampled_confidence(working, conditions)
         closed = self._closed_form(working, conditions)
+        approximation: Optional[ApproximateConfidence] = None
         if closed is not None:
             mass = closed[0]
+        elif self.confidence == "approximate":
+            mass, approximation = self._sampled_confidence(working,
+                                                           conditions)
         else:
-            mass = self._dtree_probability(working, conditions)
+            mass, approximation = self._dtree_estimate(working, conditions)
         if self.confidence == "cross-check":
             self._cross_check(working, conditions, mass)
-        return mass
+        return mass, approximation
 
     def _conditions_cover(self, working: WorldSetDecomposition,
                           conditions: Sequence[Condition]) -> bool:
@@ -1095,19 +1189,86 @@ class WSDExecutor:
         entry = self._engines.get(key)
         if entry is None or entry[0] is not working:
             entry = (working, DTreeEngine(working.components,
-                                          stats=self.confidence_stats))
+                                          stats=self.confidence_stats,
+                                          node_budget=self.budgets.dtree_nodes))
             self._engines[key] = entry
         return entry[1]
 
-    def _dtree_probability(self, working: WorldSetDecomposition,
-                           conditions: Sequence[Condition]) -> float:
+    def _sampler_for(self, working: WorldSetDecomposition) -> AnytimeSampler:
+        """The anytime Monte-Carlo sampler for *working*, cached so every
+        answer row of one query shares the cumulative mass tables."""
+        key = id(working)
+        entry = self._samplers.get(key)
+        if entry is None or entry[0] is not working:
+            entry = (working, AnytimeSampler(working.components,
+                                             self.anytime))
+            self._samplers[key] = entry
+        return entry[1]
+
+    def _sampled_confidence(self, working: WorldSetDecomposition,
+                            conditions: Sequence[Condition]
+                            ) -> tuple[float, Optional[ApproximateConfidence]]:
+        """The anytime tier: an estimate plus its recorded contract."""
+        sampler = self._sampler_for(working)
+        approximation = sampler.dnf_confidence(
+            [condition.atoms for condition in conditions])
+        if approximation.exact:
+            return approximation.value, None
+        self._record_approximation(approximation)
+        return approximation.value, approximation
+
+    def _record_approximation(self,
+                              approximation: ApproximateConfidence) -> None:
+        if not self.approximations:
+            self.stats.approximate_answers += 1
+        self.stats.sample_counts += approximation.samples
+        self.approximations.append(approximation)
+
+    def approximation_summary(self) -> Optional[dict]:
+        """The statement-level accuracy contract, or ``None`` when exact.
+
+        Conservative over every estimate the statement needed: the *worst*
+        ε, the *lowest* confidence level, the total sample count and the
+        estimators involved.
+        """
+        if not self.approximations:
+            return None
+        return {
+            "epsilon": max(a.epsilon for a in self.approximations),
+            "confidence_level": min(a.confidence_level
+                                    for a in self.approximations),
+            "samples": sum(a.samples for a in self.approximations),
+            "estimators": sorted({a.estimator for a in self.approximations}),
+        }
+
+    def _dtree_estimate(self, working: WorldSetDecomposition,
+                        conditions: Sequence[Condition]
+                        ) -> tuple[float, Optional[ApproximateConfidence]]:
         engine = self._engine(working)
         try:
             return engine.probability(
-                [condition.atoms for condition in conditions])
+                [condition.atoms for condition in conditions]), None
         except DTreeBudgetExceededError:
+            if self.degradation == "anytime" \
+                    and not self._disjunction_enumerable(working, conditions):
+                # Both exact escapes are over budget; degrade to sampling
+                # instead of refusing.
+                return self._sampled_confidence(working, conditions)
             self.confidence_stats.enumeration_fallbacks += 1
-            return self._enumerate_disjunction(working, conditions)[0]
+            return self._enumerate_disjunction(working, conditions)[0], None
+
+    def _disjunction_enumerable(self, working: WorldSetDecomposition,
+                                conditions: Sequence[Condition]) -> bool:
+        """True when the touched components' joint fits the limit."""
+        if self.limit is None:
+            return True
+        joint = 1
+        for index in sorted({index for condition in conditions
+                             for index in condition.component_ids()}):
+            joint *= len(working.components[index])
+            if joint > self.limit:
+                return False
+        return True
 
     def _cross_check(self, working: WorldSetDecomposition,
                      conditions: Sequence[Condition], mass: float) -> None:
@@ -1208,6 +1369,7 @@ class WSDExecutor:
         joined = self._join_sources(working, items, query.where)
         specs = [_ExistsSpec()] + plan.specs
         engine = DecomposedAggregator(working.components, specs,
+                                      budget=self.budgets.aggregate_states,
                                       stats=self.aggregate_stats)
         contributions = plan_contributions(plan, joined)
         key_order: list[tuple] = []
@@ -1322,6 +1484,7 @@ class WSDExecutor:
             offsets.append(len(specs))
             specs.extend(subquery.specs)
         engine = DecomposedAggregator(working.components, specs,
+                                      budget=self.budgets.aggregate_states,
                                       stats=self.aggregate_stats)
         identity = list(engine.identity)
         contributions: list[Contribution] = []
@@ -1409,10 +1572,9 @@ class WSDExecutor:
         names = self._joint_relation_names(working, query, [])
         order_keys: list[tuple] = []
         grouped: dict[tuple, tuple[float, Relation]] = {}
-        for combo, involved, answers in self._iter_query_joints(
-                working, names, query):
+        for combo, involved, answers, weight in self._iter_query_joints(
+                working, names, query, allow_sampling=True):
             answer = answers[0]
-            weight = self._joint_weight(working, involved, combo)
             key = (tuple(answer.schema.names()), answer.fingerprint())
             if key not in grouped:
                 order_keys.append(key)
@@ -1443,7 +1605,8 @@ class WSDExecutor:
             if not _compound_limits_content(query):
                 try:
                     working, schema, entries = evaluate_compound_entries(
-                        self, working, query)
+                        self, working, query,
+                        budget=self.budgets.setop_clauses)
                 except SetOpBudgetExceededError:
                     self.stats.group_fallbacks += 1
                 else:
@@ -1460,12 +1623,15 @@ class WSDExecutor:
                                     query: CompoundQuery
                                     ) -> tuple[Schema,
                                                list[tuple[tuple, list[Condition]]]]:
-        """Guarded per-joint evaluation of a whole compound query."""
+        """Guarded per-joint evaluation of a whole compound query.
+
+        An install path: never samples (pinned conditions over a sampled
+        subset would corrupt the installed decomposition)."""
         names = self._joint_relation_names(working, query, [])
         return self._entries_from_joints(
             working,
             ((combo, involved, answers[0])
-             for combo, involved, answers
+             for combo, involved, answers, _weight
              in self._iter_query_joints(working, names, query)))
 
     def _require_plain_worldlocal(self, query: Query, where: str) -> None:
@@ -1510,17 +1676,20 @@ class WSDExecutor:
 
     def _group_worlds_joints(self, working: WorldSetDecomposition,
                              query: SelectQuery,
-                             items: list[tuple[str, str]]):
-        """Yield ``(combo, involved, answer, group key)`` per joint
+                             items: list[tuple[str, str]],
+                             allow_sampling: bool = False):
+        """Yield ``(combo, involved, answer, group key, weight)`` per joint
         alternative of the components the main and grouping queries touch."""
         core = _strip_world_clauses(query, items=items)
         grouping_query = query.group_worlds_by.query
         names = self._joint_relation_names(working, core,
                                            [name for name, _ in items])
         names = self._joint_relation_names(working, grouping_query, names)
-        for combo, involved, answers in self._iter_query_joints(
-                working, names, core, grouping_query):
-            yield combo, involved, answers[0], answers[1].fingerprint()
+        for combo, involved, answers, weight in self._iter_query_joints(
+                working, names, core, grouping_query,
+                allow_sampling=allow_sampling):
+            yield combo, involved, answers[0], answers[1].fingerprint(), \
+                weight
 
     def _group_worlds_enumerate(self, working: WorldSetDecomposition,
                                 query: SelectQuery,
@@ -1533,14 +1702,15 @@ class WSDExecutor:
         order: list[tuple] = []
         answers: dict[tuple, list[Relation]] = {}
         masses: dict[tuple, float] = {}
-        for combo, involved, answer, group_key in self._group_worlds_joints(
-                working, query, items):
+        for combo, involved, answer, group_key, weight \
+                in self._group_worlds_joints(working, query, items,
+                                             allow_sampling=True):
             if group_key not in answers:
                 order.append(group_key)
                 answers[group_key] = []
                 masses[group_key] = 0.0
             answers[group_key].append(answer)
-            masses[group_key] += self._joint_weight(working, involved, combo)
+            masses[group_key] += weight
         return [(masses[key],
                  collect_quantifier(quantifier, answers[key]))
                 for key in order]
@@ -1558,29 +1728,42 @@ class WSDExecutor:
         quantifier = query.quantifier or "possible"
         joints = list(self._group_worlds_joints(working, query, items))
         grouped: dict[tuple, list[Relation]] = {}
-        for _combo, _involved, answer, group_key in joints:
+        for _combo, _involved, answer, group_key, _weight in joints:
             grouped.setdefault(group_key, []).append(answer)
         collected = {key: collect_quantifier(quantifier, group)
                      for key, group in grouped.items()}
         return self._entries_from_joints(
             working,
             ((combo, involved, collected[group_key])
-             for combo, involved, _answer, group_key in joints))
+             for combo, involved, _answer, group_key, _weight in joints))
 
     # -- component-joint evaluation ------------------------------------------------------------
 
     def _evaluate_component_joint(self, working: WorldSetDecomposition,
                                   query: SelectQuery,
                                   items: list[tuple[str, str]]) -> WSDQueryResult:
+        approximations_before = len(self.approximations)
         answers, weights = self._component_joint_answers(working, query, items)
+        # When the joint degraded to sampling, every accumulated mass is an
+        # estimated fraction of `samples` draws; conf answers then carry a
+        # Wilson interval per reported mass.
+        sampled = len(self.approximations) > approximations_before
         if query.conf:
             if not query.select_items:
                 mass = sum(weight for answer, weight in zip(answers, weights)
                            if len(answer) > 0)
+                if not sampled:
+                    return WSDQueryResult(
+                        kind="rows",
+                        relation=_make_relation(Schema([Column("conf")]),
+                                                [(mass,)]))
+                low, high = self._sampled_mass_interval(mass, len(weights))
                 return WSDQueryResult(
                     kind="rows",
-                    relation=_make_relation(Schema([Column("conf")]),
-                                            [(mass,)]))
+                    relation=_make_relation(
+                        Schema([Column("conf"), Column("conf_low"),
+                                Column("conf_high")]),
+                        [(mass, low, high)]))
             confidence: dict[tuple, float] = {}
             order: list[tuple] = []
             for answer, weight in zip(answers, weights):
@@ -1589,9 +1772,18 @@ class WSDExecutor:
                         confidence[row] = 0.0
                         order.append(row)
                     confidence[row] += weight
-            schema = Schema(list(answers[0].schema.without_qualifiers().columns)
-                            + [Column("conf")])
-            rows = [row + (confidence[row],) for row in order]
+            columns = list(answers[0].schema.without_qualifiers().columns)
+            if not sampled:
+                schema = Schema(columns + [Column("conf")])
+                rows = [row + (confidence[row],) for row in order]
+            else:
+                schema = Schema(columns + [Column("conf"), Column("conf_low"),
+                                           Column("conf_high")])
+                rows = []
+                for row in order:
+                    low, high = self._sampled_mass_interval(confidence[row],
+                                                            len(weights))
+                    rows.append(row + (confidence[row], low, high))
             return WSDQueryResult(kind="rows",
                                   relation=_make_relation(schema, rows))
         if query.quantifier is not None:
@@ -1613,24 +1805,35 @@ class WSDExecutor:
                         for key in order_keys]
         return WSDQueryResult(kind="distribution", distribution=distribution)
 
+    def _sampled_mass_interval(self, mass: float,
+                               samples: int) -> tuple[float, float]:
+        """Wilson interval of a mass estimated as a fraction of *samples*
+        equally-weighted world draws."""
+        hits = max(0, min(samples, round(mass * samples)))
+        _, low, high = wilson_interval(hits, samples,
+                                       self.anytime.z_score())
+        return low, high
+
     def _iter_component_joints(self, working: WorldSetDecomposition,
                                query: SelectQuery,
-                               items: list[tuple[str, str]]):
+                               items: list[tuple[str, str]],
+                               allow_sampling: bool = False):
         """Evaluate the plain core of *query* once per joint alternative of
         the components touching its referenced relations.
 
-        Yields ``(combo, involved, answer)`` per joint alternative, where
-        *combo* is the alternative index per *involved* component.  This is
-        the single guarded joint-enumeration core shared by the query path
-        (:meth:`_component_joint_answers`) and the install path
-        (:meth:`_component_joint_entries`).
+        Yields ``(combo, involved, answer, weight)`` per joint alternative,
+        where *combo* is the alternative index per *involved* component.
+        This is the single guarded joint-enumeration core shared by the
+        query path (:meth:`_component_joint_answers`, which may sample
+        under graceful degradation) and the install path
+        (:meth:`_component_joint_entries`, always strict).
         """
         core = _strip_world_clauses(query, items=items)
         names = self._joint_relation_names(working, core,
                                            [name for name, _ in items])
-        for combo, involved, answers in self._iter_query_joints(
-                working, names, core):
-            yield combo, involved, answers[0]
+        for combo, involved, answers, weight in self._iter_query_joints(
+                working, names, core, allow_sampling=allow_sampling):
+            yield combo, involved, answers[0], weight
 
     def _joint_relation_names(self, working: WorldSetDecomposition,
                               node: Query, seed: list[str]) -> list[str]:
@@ -1647,15 +1850,27 @@ class WSDExecutor:
         return names
 
     def _iter_query_joints(self, working: WorldSetDecomposition,
-                           names: Sequence[str], *queries: Query):
+                           names: Sequence[str], *queries: Query,
+                           allow_sampling: bool = False):
         """Evaluate plain *queries* once per joint alternative of the
         components touching *names* (the single guarded joint-enumeration
         core shared by the component-joint, compound-enumerate and
         world-grouping paths).
 
-        Yields ``(combo, involved, answers)`` per joint alternative, where
-        *combo* is the alternative index per *involved* component and
-        *answers* aligns with *queries*.
+        Yields ``(combo, involved, answers, weight)`` per joint alternative,
+        where *combo* is the alternative index per *involved* component,
+        *answers* aligns with *queries* and *weight* is the probability mass
+        the combo carries towards a distribution.
+
+        When the joint exceeds the enumeration limit the call normally
+        refuses (:class:`~repro.errors.EnumerationLimitError`); under
+        ``degradation="anytime"`` callers whose answers are *weight-based
+        distributions* may pass ``allow_sampling=True`` to degrade to
+        sampled joint alternatives instead — each of ``max_world_samples``
+        drawn combos carries weight ``1 / count``, and the recorded
+        :class:`ApproximateConfidence` states the worst-case per-mass ε.
+        Install paths must never sample: their pinned per-combo conditions
+        would turn a sampled subset into wrong session state.
         """
         fields = {f
                   for name in names
@@ -1666,13 +1881,28 @@ class WSDExecutor:
         joint = 1
         for index in involved:
             joint *= len(working.components[index])
-        ensure_enumerable(joint, self.limit, operation="jointly enumerate")
+        sampled_weight: float | None = None
+        if allow_sampling and self.degradation == "anytime" \
+                and self.limit is not None and joint > self.limit:
+            sampler = self._sampler_for(working)
+            count = max(1, self.anytime.max_world_samples)
+            sampled_weight = 1.0 / count
+            self._record_approximation(ApproximateConfidence(
+                value=0.0, epsilon=sampler.joint_epsilon(count),
+                confidence_level=self.anytime.confidence_level,
+                samples=count, estimator="joint-sampling"))
+            combos = sampler.joint_samples(involved, count,
+                                           key=(joint, count, len(queries)))
+        else:
+            ensure_enumerable(joint, self.limit,
+                              operation="jointly enumerate")
+            ranges = [range(len(working.components[index].alternatives))
+                      for index in involved]
+            combos = product(*ranges)
         from ..core.executor import Executor
 
         executor = Executor(self.views)
-        ranges = [range(len(working.components[index].alternatives))
-                  for index in involved]
-        for combo in product(*ranges):
+        for combo in combos:
             assignment: dict[Field, Any] = {}
             for index, alt_index in zip(involved, combo):
                 component = working.components[index]
@@ -1685,7 +1915,9 @@ class WSDExecutor:
             world = World(catalog)
             answers = [executor.evaluate_plain_in_world(query, world)
                        for query in queries]
-            yield combo, involved, answers
+            weight = (sampled_weight if sampled_weight is not None
+                      else self._joint_weight(working, involved, combo))
+            yield combo, involved, answers, weight
         self.stats.component_joint += 1
 
     def _component_joint_answers(self, working: WorldSetDecomposition,
@@ -1694,10 +1926,10 @@ class WSDExecutor:
                                  ) -> tuple[list[Relation], list[float]]:
         answers: list[Relation] = []
         weights: list[float] = []
-        for combo, involved, answer in self._iter_component_joints(
-                working, query, items):
+        for _combo, _involved, answer, weight in self._iter_component_joints(
+                working, query, items, allow_sampling=True):
             answers.append(answer)
-            weights.append(self._joint_weight(working, involved, combo))
+            weights.append(weight)
         return answers, weights
 
     def _component_joint_entries(self, working: WorldSetDecomposition,
@@ -1710,9 +1942,13 @@ class WSDExecutor:
         Each joint alternative is one full condition; a row that appears in
         several joint answers carries the disjunction of their conditions, so
         the installed relation reproduces every per-world answer exactly.
+        An install path: never samples.
         """
         return self._entries_from_joints(
-            working, self._iter_component_joints(working, query, items))
+            working,
+            ((combo, involved, answer)
+             for combo, involved, answer, _weight
+             in self._iter_component_joints(working, query, items)))
 
     def _entries_from_joints(self, working: WorldSetDecomposition, joints
                              ) -> tuple[Schema,

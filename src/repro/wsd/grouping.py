@@ -251,6 +251,7 @@ def evaluate_group_worlds(executor, working, query: SelectQuery,
 
 def _aggregator(executor, working, specs) -> DecomposedAggregator:
     return DecomposedAggregator(working.components, specs,
+                                budget=executor.budgets.aggregate_states,
                                 stats=executor.aggregate_stats)
 
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from itertools import product
 
-from ..errors import ReproError
+from ..errors import ResourceBudgetError
 from ..sqlparser.ast_nodes import CompoundQuery, Query, SelectQuery
 from .decomposition import ensure_enumerable
 
@@ -53,14 +53,15 @@ __all__ = [
 DEFAULT_CLAUSE_BUDGET = 4096
 
 
-class SetOpBudgetExceededError(ReproError):
+class SetOpBudgetExceededError(ResourceBudgetError):
     """A row's presence DNF exceeded the clause budget (correlated shape)."""
 
     def __init__(self, budget: int, reason: str) -> None:
         super().__init__(
             f"native set-operation evaluation exceeded its clause budget of "
-            f"{budget} ({reason}); falling back to guarded enumeration")
-        self.budget = budget
+            f"{budget} ({reason}); falling back to guarded enumeration",
+            kind="setop-clauses", budget=budget)
+        self.reason = reason
 
 
 def evaluate_compound_entries(executor, working, query: CompoundQuery,

@@ -301,6 +301,38 @@ def assert_statement_parity(statement_sql, expected, actual):
             pytest.approx(mass, abs=1e-9), context
 
 
+def assert_approximation_tracks(statement_sql, expected, actual):
+    """An approximate answer must keep the exact row identities, append
+    only the interval columns, and put every sampled confidence within
+    ``max(4 * epsilon, 0.05)`` of the exact value."""
+    context = f"statement: {statement_sql}"
+    assert expected.is_rows() and actual.is_rows(), context
+    tolerance = max(4.0 * actual.approximation["epsilon"], 0.05)
+    expected_names = list(expected.relation.schema.names())
+    actual_names = list(actual.relation.schema.names())
+    assert actual_names[:len(expected_names)] == expected_names, context
+    assert all(name in ("conf_low", "conf_high")
+               for name in actual_names[len(expected_names):]), context
+    conf_indexes = {index for index, name in enumerate(expected_names)
+                    if name == "conf"}
+
+    def identity(row):
+        return repr([value for index, value
+                     in enumerate(row[:len(expected_names)])
+                     if index not in conf_indexes])
+
+    expected_rows = sorted(expected.rows(), key=identity)
+    actual_rows = sorted(actual.rows(), key=identity)
+    assert len(expected_rows) == len(actual_rows), context
+    for expected_row, actual_row in zip(expected_rows, actual_rows):
+        for index, value in enumerate(expected_row):
+            if index in conf_indexes:
+                assert actual_row[index] == pytest.approx(
+                    value, abs=tolerance), context
+            else:
+                assert actual_row[index] == value, context
+
+
 class TestDifferentialFuzz:
     """Random programs must agree statement-by-statement across backends."""
 
@@ -340,3 +372,28 @@ class TestDifferentialFuzz:
                 continue
             actual = native.execute(statement_sql)
             assert_statement_parity(statement_sql, expected, actual)
+
+    @given(program())
+    @settings(max_examples=fuzz_examples(20), deadline=None, print_blob=True)
+    def test_approximate_confidence_tracks_exact(self, workload):
+        """Approximate-vs-exact differential: forcing the anytime sampler
+        on every non-closed-form confidence must track the exact engines
+        within the advertised accuracy contract (and answer shapes that
+        stay closed-form must stay bit-exact)."""
+        relation, statements = workload
+        exact = MayBMS({"R": relation.copy()}, backend="wsd")
+        approx = MayBMS({"R": relation.copy()}, backend="wsd",
+                        degradation="anytime")
+        approx.backend.confidence_engine = "approximate"
+        for statement_sql in statements:
+            try:
+                expected = exact.execute(statement_sql)
+            except ReproError:
+                with pytest.raises(ReproError):
+                    approx.execute(statement_sql)
+                continue
+            actual = approx.execute(statement_sql)
+            if not actual.approximate:
+                assert_statement_parity(statement_sql, expected, actual)
+            else:
+                assert_approximation_tracks(statement_sql, expected, actual)
