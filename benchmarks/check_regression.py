@@ -87,6 +87,12 @@ BENCHES = {
         "latency": [],
         "counters": ["unnormalised cells", "normalised cells", "components"],
     },
+    "BENCH_DUR1": {
+        "key": ["point"],
+        "latency": ["commit_ms", "recovery_ms", "checkpoint_ms",
+                    "recovery2_ms"],
+        "counters": ["replayed"],
+    },
 }
 
 

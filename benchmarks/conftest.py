@@ -177,6 +177,20 @@ def scale5_serving_parameters() -> dict:
             "warm_repetitions": 80, "writer_rounds": 10}
 
 
+def dur1_parameters() -> dict:
+    """Parameters for the BENCH_DUR1 durability sweep.
+
+    ``writes`` are the sweep points: the WAL length (committed statements)
+    at which per-commit latency (fsync on), full-replay recovery time,
+    snapshot (checkpoint) cost and post-snapshot recovery time are
+    measured.  Automatic snapshots are disabled during the run so the
+    recovery leg genuinely replays the whole log.
+    """
+    if BENCH_SMOKE:
+        return {"writes": (20, 60)}
+    return {"writes": (200, 1000, 5000)}
+
+
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print a small aligned table (the benchmark's reproduction of a figure)."""
     rendered = [[str(cell) for cell in row] for row in rows]

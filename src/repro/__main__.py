@@ -67,18 +67,72 @@ def _serve(argv: list[str]) -> int:
     parser.add_argument("--dataset",
                         choices=("figure1", "figure3", "figure5"),
                         default="figure1")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable data directory (WAL + snapshots); an "
+                             "existing directory is recovered, a fresh one "
+                             "is seeded from --dataset")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip the per-commit fsync (faster; commits "
+                             "survive process crashes but possibly not "
+                             "power cuts)")
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        metavar="N",
+                        help="snapshot + rotate the WAL every N commits "
+                             "(0 disables automatic snapshots)")
+    parser.add_argument("--write-timeout-ms", type=int, default=None,
+                        metavar="MS",
+                        help="writes waiting longer than MS for the lock "
+                             "answer 503 + Retry-After instead of blocking")
+    parser.add_argument("--max-body-bytes", type=int, default=1_000_000,
+                        help="reject larger POST bodies with 413")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
     options = parser.parse_args(argv)
+    write_timeout = (options.write_timeout_ms / 1000.0
+                     if options.write_timeout_ms is not None else None)
     try:
-        session = _load(options.dataset, backend=options.backend)
+        if options.data_dir is None:
+            session = _load(options.dataset, backend=options.backend)
+            if write_timeout is not None:
+                session.write_timeout = write_timeout
+        else:
+            session = _durable_session(options, write_timeout)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     server = MayBMSServer(session, host=options.host, port=options.port,
-                          verbose=options.verbose)
+                          verbose=options.verbose,
+                          max_body_bytes=options.max_body_bytes)
     server.serve()
     return 0
+
+
+def _durable_session(options, write_timeout: float | None) -> MayBMS:
+    """Open (or seed) a durable session for ``serve --data-dir``."""
+    from .storage import DurableStore
+
+    durability = {
+        "fsync": not options.no_fsync,
+        "snapshot_every": options.snapshot_every or None,
+    }
+    if DurableStore.has_state_at(options.data_dir):
+        # Recovery: the directory's own history wins over --dataset.
+        print(f"recovering persisted state from {options.data_dir} "
+              f"(--dataset ignored)", file=sys.stderr)
+        return MayBMS(backend=options.backend, data_dir=options.data_dir,
+                      durability=durability, write_timeout=write_timeout)
+    if options.dataset == "figure3":
+        # figure3 is installed by assigning a raw world-set, which bypasses
+        # the WAL — there is nothing to replay, so refuse rather than
+        # persist an unrecoverable session.
+        raise ReproError(
+            "the figure3 dataset cannot seed a durable data directory; "
+            "use figure1 or figure5")
+    catalog = (figure1_database() if options.dataset == "figure1"
+               else {"R": cleaning_relation_r()})
+    return MayBMS(catalog, backend=options.backend,
+                  data_dir=options.data_dir, durability=durability,
+                  write_timeout=write_timeout)
 
 
 def _handle_meta(command: str, db: MayBMS) -> MayBMS | None:

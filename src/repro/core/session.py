@@ -46,7 +46,15 @@ from ..relational.schema import Column
 from ..serving.locks import GenerationRWLock
 from ..serving.prepared import PreparedStatement, StatementCache, statement_is_read
 from ..sqlparser.ast_nodes import Query, Statement
-from ..sqlparser.parser import parse_prepared, parse_statements
+from ..sqlparser.parser import parse_prepared, split_statements
+from ..storage.store import (
+    DurableStore,
+    RecoveryReport,
+    ast_record,
+    create_table_record,
+    insert_record,
+    register_relation_record,
+)
 from ..worldset.worldset import WorldSet
 from ..wsd.decomposition import WorldSetDecomposition
 from ..wsd.approximate import AnytimeBudget
@@ -65,7 +73,11 @@ class MayBMS:
                  statement_cache_size: int = 64,
                  budgets: ResourceBudgets | dict | None = None,
                  degradation: str = "strict",
-                 anytime: AnytimeBudget | None = None) -> None:
+                 anytime: AnytimeBudget | None = None,
+                 data_dir: str | None = None,
+                 durability=None,
+                 write_timeout: float | None = None,
+                 fault_injector=None) -> None:
         #: The execution backend holding all state (world-set or WSD, views,
         #: declared keys) and implementing statement execution.  *budgets*
         #: replaces the engines' hard-coded guard constants per session;
@@ -82,6 +94,30 @@ class MayBMS:
         #: LRU of prepared statements keyed by SQL text; ``execute`` goes
         #: through it, so repeated statements skip parsing and analysis.
         self.statement_cache = StatementCache(statement_cache_size)
+        #: Seconds a write waits for the lock before a structured
+        #: :class:`~repro.errors.WriteTimeoutError` (``None``: forever).
+        self.write_timeout = write_timeout
+        #: The durable store, or ``None`` for a purely in-memory session.
+        self.store: DurableStore | None = None
+        #: What opening ``data_dir`` found (``None`` without one).
+        self.recovery: RecoveryReport | None = None
+        if data_dir is None:
+            if durability is not None or fault_injector is not None:
+                raise AnalysisError(
+                    "durability / fault_injector options require data_dir")
+        else:
+            store = DurableStore(data_dir, durability,
+                                 injector=fault_injector)
+            if catalog is not None and store.has_state():
+                raise AnalysisError(
+                    f"{data_dir} already holds persisted state; open it "
+                    "without a constructor catalog (recovery would "
+                    "silently discard the catalog otherwise)")
+            self.store = store
+            # Bootstrap captures the constructor catalog (if any) in the
+            # generation-0 snapshot; recovery replaces the backend state
+            # with the newest snapshot plus the replayed WAL tail.
+            self.recovery = store.open(self.backend, self.lock)
 
     # -- backend and state access ---------------------------------------------------------------
 
@@ -101,6 +137,12 @@ class MayBMS:
 
     @world_set.setter
     def world_set(self, value: WorldSet) -> None:
+        """Replace the explicit world-set directly.
+
+        This bypasses the write lock *and* the durable store's WAL — it is
+        a test/demo convenience, not a logged write.  Durable sessions must
+        mutate state through statements or the programmatic DML APIs.
+        """
         if not isinstance(self.backend, ExplicitBackend):
             raise AnalysisError(
                 "the wsd backend keeps no explicit world-set; "
@@ -136,23 +178,48 @@ class MayBMS:
 
     # -- programmatic catalog management ------------------------------------------------------
 
+    def _durable_write(self, action, record_builder, statement=None):
+        """Run one write under the lock, logging it before the release.
+
+        *action* mutates the backend; *record_builder* produces the redo
+        record (built only when a store exists).  Any failure — of the
+        action or of the durable logging — releases without a generation
+        bump: the write is not acknowledged.
+        """
+        with self.lock.write(timeout=self.write_timeout):
+            if self.store is not None:
+                self.store.check_writable()
+            result = action()
+            if self.store is not None:
+                self.store.log_commit(self.lock.generation + 1,
+                                      record_builder(),
+                                      statement=statement)
+            return result
+
     def create_table(self, name: str, columns: Sequence[str | Column],
                      rows: Iterable[Sequence[Any]] = (),
                      primary_key: Sequence[str] | None = None) -> None:
         """Create a complete table in every current world (convenience API)."""
-        with self.lock.write():
-            self.backend.create_table(name, columns, rows, primary_key)
+        rows = [tuple(row) for row in rows]
+        self._durable_write(
+            lambda: self.backend.create_table(name, columns, rows,
+                                              primary_key),
+            lambda: create_table_record(name, columns, rows, primary_key))
 
     def register_relation(self, relation: Relation,
                           name: str | None = None) -> None:
         """Add an existing relation object to every current world."""
-        with self.lock.write():
-            self.backend.register_relation(relation, name)
+        self._durable_write(
+            lambda: self.backend.register_relation(relation, name),
+            lambda: register_relation_record(relation,
+                                             name or relation.name))
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Insert rows into *table* in every world (checking declared keys)."""
-        with self.lock.write():
-            return self.backend.insert(table, rows)
+        rows = [tuple(row) for row in rows]
+        return self._durable_write(
+            lambda: self.backend.insert(table, rows),
+            lambda: insert_record(table, rows))
 
     def relation(self, name: str, world_label: str | None = None) -> Relation:
         """Return a relation from one world (the first world by default)."""
@@ -193,7 +260,8 @@ class MayBMS:
             return cached
         statement, parameter_count = parse_prepared(sql)
         prepared = PreparedStatement(self.backend, self.lock, sql, statement,
-                                     parameter_count)
+                                     parameter_count, store=self.store,
+                                     write_timeout=self.write_timeout)
         self.statement_cache.put(sql, prepared)
         return prepared
 
@@ -212,17 +280,57 @@ class MayBMS:
         return self.prepare(sql).execute(parameters or (), options)
 
     def execute_script(self, sql: str) -> list[StatementResult]:
-        """Parse and execute a semicolon-separated script; return all results."""
-        return [self.execute_statement(statement)
-                for statement in parse_statements(sql)]
+        """Execute a semicolon-separated script; return all results.
+
+        The script is split into individual statement texts first and each
+        piece executes through the normal (prepared) path, so on a durable
+        session every statement is its own commit — and its own replayable
+        WAL record.
+        """
+        return [self.execute(piece) for piece in split_statements(sql)]
 
     def execute_statement(self, statement: Statement) -> StatementResult:
-        """Execute an already-parsed statement on the active backend."""
+        """Execute an already-parsed statement on the active backend.
+
+        Without SQL text to log, a durable session records the statement
+        AST itself (pickled) as the redo record.
+        """
         if statement_is_read(statement):
             with self.lock.read():
                 return self.backend.execute_statement(statement)
-        with self.lock.write():
-            return self.backend.execute_statement(statement)
+        return self._durable_write(
+            lambda: self.backend.execute_statement(statement),
+            lambda: ast_record(statement), statement=statement)
+
+    # -- durability ----------------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the durable store now; returns the snapshot generation.
+
+        Also rotates the WAL, so a subsequent reopen replays nothing.
+        Requires a durable session (``data_dir=...``).
+        """
+        if self.store is None:
+            raise AnalysisError(
+                "checkpoint requires a durable session (pass data_dir=...)")
+        return self.store.checkpoint()
+
+    def durability_health(self) -> dict:
+        """The durability block served under ``/health``."""
+        if self.store is None:
+            return {"enabled": False}
+        return self.store.health()
+
+    def close(self) -> None:
+        """Flush and close the durable store (no-op for in-memory sessions)."""
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "MayBMS":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- introspection -------------------------------------------------------------------------------------------
 

@@ -221,5 +221,47 @@ class EnumerationLimitError(ResourceBudgetError, DecompositionError):
             kind="enumeration", budget=limit, observed=world_count)
 
 
+class WriteTimeoutError(ResourceBudgetError):
+    """Acquiring the session's write lock timed out.
+
+    Raised by :meth:`repro.serving.locks.GenerationRWLock.acquire_write`
+    when a *timeout* was requested and the lock stayed contended past it.
+    The state is untouched (the writer never entered), so the request is
+    safely retryable — the serving layer maps this to ``503`` with a
+    ``Retry-After`` header instead of parking a handler thread forever.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        #: Seconds a client should wait before retrying (the serving
+        #: layer's ``Retry-After`` value): one full timeout window.
+        self.retry_after = max(1, int(timeout) if timeout == int(timeout)
+                               else int(timeout) + 1)
+        super().__init__(
+            f"could not acquire the write lock within {timeout * 1000.0:.0f}ms"
+            " (writer busy or readers draining); retry later",
+            kind="write-lock", budget=timeout, observed=timeout)
+
+
+class StorageError(ReproError):
+    """A durable-store operation failed (I/O, bad directory, failed state).
+
+    Once a commit-path append or snapshot fails, the store enters the
+    ``failed`` state and every further write raises this error: the
+    in-memory state may be ahead of the log, so acknowledging more writes
+    would break the replay contract.  Reads keep working; recovery happens
+    by reopening the data directory.
+    """
+
+
+class RecoveryError(StorageError):
+    """The data directory cannot be recovered into a consistent state.
+
+    Torn or corrupt *trailing* WAL records are expected after a crash and
+    are truncated silently; this error means something structurally worse —
+    a generation gap between snapshot and log, a corrupt record in the
+    middle of the history, or no loadable snapshot at all.
+    """
+
+
 class UnsupportedFeatureError(ReproError):
     """The requested SQL / I-SQL feature is recognised but not implemented."""

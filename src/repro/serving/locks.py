@@ -25,8 +25,11 @@ outermost execution entry point.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
+
+from ..errors import WriteTimeoutError
 
 __all__ = ["GenerationRWLock"]
 
@@ -77,14 +80,34 @@ class GenerationRWLock:
 
     # -- writers --------------------------------------------------------------------
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: float | None = None) -> None:
+        """Acquire exclusive mode, waiting at most *timeout* seconds.
+
+        With ``timeout=None`` (the default) the wait is unbounded.  On
+        timeout a :class:`~repro.errors.WriteTimeoutError` is raised — the
+        serving layer maps it onto a structured ``503`` with a
+        ``Retry-After`` hint — and any readers queued behind this writer
+        are woken, so an abandoned wait cannot wedge the lock.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._mutex:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
-                    self._writer_ok.wait()
+                    if deadline is None:
+                        self._writer_ok.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise WriteTimeoutError(timeout)
+                    self._writer_ok.wait(remaining)
             finally:
                 self._writers_waiting -= 1
+                if not self._writers_waiting and not self._writer_active:
+                    # We may have been the writer readers were queueing
+                    # behind; without this wake a timed-out acquisition
+                    # would leave them blocked forever.
+                    self._readers_ok.notify_all()
             self._writer_active = True
 
     def release_write(self, bump: bool = True) -> int:
@@ -109,13 +132,13 @@ class GenerationRWLock:
             return generation
 
     @contextmanager
-    def write(self) -> Iterator[None]:
+    def write(self, timeout: float | None = None) -> Iterator[None]:
         """Hold the lock in exclusive (write) mode for the ``with`` body.
 
         The generation bumps only when the body completes without raising —
         a failed write leaves the state, and therefore the counter, alone.
         """
-        self.acquire_write()
+        self.acquire_write(timeout=timeout)
         try:
             yield
         except BaseException:

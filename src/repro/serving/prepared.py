@@ -44,6 +44,7 @@ from ..sqlparser.ast_nodes import (
     SelectQuery,
     Statement,
 )
+from ..storage.store import sql_record
 from .locks import GenerationRWLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,7 +70,8 @@ class PreparedStatement:
 
     def __init__(self, backend: "ExecutionBackend", lock: GenerationRWLock,
                  sql: str, statement: Statement,
-                 parameter_count: int) -> None:
+                 parameter_count: int, store=None,
+                 write_timeout: float | None = None) -> None:
         self.sql = sql
         self.statement = statement
         #: How many ``?`` placeholders each execution must bind.
@@ -81,6 +83,10 @@ class PreparedStatement:
         self.executions = 0
         self._backend = backend
         self._lock = lock
+        #: The session's :class:`~repro.storage.DurableStore`, or ``None``
+        #: for purely in-memory sessions.
+        self._store = store
+        self._write_timeout = write_timeout
         # Compiled aggregate/grouping plans are cached per executing thread:
         # an AggregatePlan carries mutable value slots filled during
         # evaluation, so sharing one instance across threads would race.
@@ -133,15 +139,29 @@ class PreparedStatement:
             finally:
                 self._lock.release_read()
         else:
-            self._lock.acquire_write()
+            self._lock.acquire_write(timeout=self._write_timeout)
             try:
+                if self._store is not None:
+                    # Refuse up front: after a commit-path failure the
+                    # in-memory state may be ahead of the log, and running
+                    # more writes would widen the divergence.
+                    self._store.check_writable()
                 with bound_parameters(parameters):
                     result = self._backend.execute_statement(
                         self.statement, prepared_plans=self.plans,
                         options=options)
+                if self._store is not None:
+                    # Log-before-release: the record carries the generation
+                    # the release below will publish, so WAL order is
+                    # exactly generation order.
+                    self._store.log_commit(
+                        self._lock.generation + 1,
+                        sql_record(self.sql, parameters),
+                        statement=self.statement)
             except BaseException:
-                # The write failed: the state did not change, so the
-                # completed-write counter must not advance either.
+                # The write failed (or was not durably logged): the
+                # acknowledged state did not change, so the completed-write
+                # counter must not advance either.
                 self._lock.release_write(bump=False)
                 raise
             else:

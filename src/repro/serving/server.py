@@ -23,8 +23,18 @@ Endpoints
 
 ``GET /health``
     ``{"ok": true, "backend": ..., "generation": ..., "tables": [...],
-    "budgets": {...}, "degradation": ...}`` — the effective resource
-    budgets and degradation default of the session.
+    "budgets": {...}, "degradation": ..., "durability": {...}}`` — the
+    effective resource budgets, degradation default, and the durable
+    store's state (``{"enabled": false}`` for in-memory sessions;
+    otherwise the store state, last-synced generation, snapshot
+    generation and fsync policy).
+
+Robustness: POST bodies must declare a ``Content-Length`` and stay under
+the server's ``max_body_bytes`` — violations get a *structured* 413
+(kind/budget/observed) without the body being read.  When the session has
+a write-lock timeout configured, a write that cannot acquire the lock in
+time answers a structured 503 with a ``Retry-After`` header instead of
+parking the handler thread forever.
 
 ``GET /stats``
     The serving counters: statement-cache hits/misses and, on the wsd
@@ -49,7 +59,12 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
-from ..errors import DeadlineExceededError, ReproError, ResourceBudgetError
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    ResourceBudgetError,
+    WriteTimeoutError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import StatementResult
@@ -123,28 +138,62 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(self, status: int, payload: dict,
+                 extra_headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_body(self) -> bytes | None:
-        """Drain and return the request body; None after answering 400.
+        """Drain and return the request body; None after answering 4xx.
 
         Always reading the declared body keeps HTTP/1.1 keep-alive
         connections in sync — unread body bytes would be parsed as the next
         request line.  An unparseable Content-Length means the body's end is
-        unknowable, so the connection is answered and closed instead.
+        unknowable, so the connection is answered and closed instead; the
+        same goes for bodies over the server's ``max_body_bytes`` bound,
+        which are *refused without being drained* (a structured 413) so an
+        oversized upload cannot occupy a handler thread byte by byte.
         """
+        if self.command == "POST" and "Content-Length" not in self.headers:
+            # Without a length the body's size is unbounded (chunked or
+            # unframed); refuse it instead of reading arbitrary input.
+            self.close_connection = True
+            self._respond(413, {
+                "error": {
+                    "kind": "request-body",
+                    "budget": getattr(self.server, "max_body_bytes", None),
+                    "observed": None,
+                    "message": "POST requests must declare Content-Length",
+                },
+                "type": "RequestBodyTooLarge",
+            })
+            return None
         try:
             length = int(self.headers.get("Content-Length", "0") or 0)
         except ValueError:
             self.close_connection = True
             self._respond(400, {"error": "invalid Content-Length header",
                                 "type": "ValueError"})
+            return None
+        limit = getattr(self.server, "max_body_bytes", None)
+        if limit is not None and length > limit:
+            self.close_connection = True
+            self._respond(413, {
+                "error": {
+                    "kind": "request-body",
+                    "budget": limit,
+                    "observed": length,
+                    "message": f"request body of {length} bytes exceeds "
+                               f"the server limit of {limit} bytes",
+                },
+                "type": "RequestBodyTooLarge",
+            })
             return None
         return self.rfile.read(length) if length > 0 else b""
 
@@ -162,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "tables": self.session.table_names(),
                 "budgets": backend.budgets.as_dict(),
                 "degradation": backend.degradation,
+                "durability": self.session.durability_health(),
             })
             return
         if self.path == "/stats":
@@ -199,6 +249,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             result = self.session.execute(sql, params,
                                           options=options or None)
+        except WriteTimeoutError as error:
+            # The write lock could not be had in time: the server stayed
+            # responsive instead of parking the handler thread forever, and
+            # the client learns when to come back.
+            self._respond(503, {"error": error.payload(),
+                                "type": type(error).__name__},
+                          extra_headers={
+                              "Retry-After": str(error.retry_after)})
+            return
         except ResourceBudgetError as error:
             # The structured refusal contract: budget overruns answer with
             # machine-readable kind/budget/observed (and the partial
@@ -240,11 +299,13 @@ class MayBMSServer:
     """A threaded HTTP server wrapping one shared session."""
 
     def __init__(self, session: "MayBMS", host: str = "127.0.0.1",
-                 port: int = 8850, verbose: bool = False) -> None:
+                 port: int = 8850, verbose: bool = False,
+                 max_body_bytes: int = 1_000_000) -> None:
         self.session = session
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.session = session  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
 
     @property

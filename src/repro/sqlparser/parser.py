@@ -742,6 +742,42 @@ def parse_statements(text: str) -> list[Statement]:
     return Parser(text).parse_statements()
 
 
+def split_statements(text: str) -> list[str]:
+    """Split a script into the source text of its individual statements.
+
+    Token-aware (semicolons inside string literals or comments do not
+    split), so each returned piece is one complete statement's original
+    text, terminator included.  The durable session executes scripts piece
+    by piece so every statement becomes its own commit — and its own WAL
+    record — instead of one unreplayable blob.
+    """
+    tokens = tokenize(text)
+    line_starts = [0]
+    for index, char in enumerate(text):
+        if char == "\n":
+            line_starts.append(index + 1)
+
+    def offset(token: Token) -> int:
+        return line_starts[token.line - 1] + token.column - 1
+
+    pieces: list[str] = []
+    start = 0
+    seen_content = False
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.SEMICOLON:
+            if seen_content:
+                pieces.append(text[start:offset(token) + 1])
+            start = offset(token) + 1
+            seen_content = False
+        else:
+            seen_content = True
+    if seen_content:
+        pieces.append(text[start:])
+    return pieces
+
+
 def parse_query(text: str) -> Query:
     """Parse *text* and require it to be a query (SELECT or compound)."""
     statement = parse_statement(text)

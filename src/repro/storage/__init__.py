@@ -1,0 +1,35 @@
+"""Durable world-set store: write-ahead log, snapshots and crash recovery.
+
+The package is deliberately independent of :mod:`repro.core` (the session
+imports the store, never the other way round).  See :mod:`repro.storage.store`
+for the commit protocol and failure semantics, and
+:mod:`repro.storage.faultinject` for the crash-point harness the recovery
+tests drive.
+"""
+
+from .faultinject import (
+    CRASH_POINTS,
+    FaultInjector,
+    InjectedCrashError,
+    crash_workload,
+)
+from .snapshot import load_snapshot, snapshot_file_name, write_snapshot
+from .store import DurabilityConfig, DurableStore, RecoveryReport
+from .wal import WAL_MAGIC, ScanResult, WriteAheadLog, wal_file_name
+
+__all__ = [
+    "CRASH_POINTS",
+    "DurabilityConfig",
+    "DurableStore",
+    "FaultInjector",
+    "InjectedCrashError",
+    "RecoveryReport",
+    "ScanResult",
+    "WAL_MAGIC",
+    "WriteAheadLog",
+    "crash_workload",
+    "load_snapshot",
+    "snapshot_file_name",
+    "wal_file_name",
+    "write_snapshot",
+]

@@ -1,0 +1,196 @@
+"""Fault injection for the durable store: crash the commit path on purpose.
+
+The durability contract — committed-stays-committed, unacknowledged writes
+are never half-applied — is only worth anything if it survives a crash at
+*every* step of the commit path.  This module provides the harness that
+proves it:
+
+* :class:`FaultInjector` arms named **crash points**; the store's WAL append
+  and snapshot writer call :meth:`FaultInjector.fire` at each step, and an
+  armed point raises :class:`InjectedCrashError` exactly there — after the
+  bytes that step would have durably written, before the bytes it would not;
+* :data:`CRASH_POINTS` enumerates every injectable step, so the test suite
+  (``tests/test_crash_recovery.py``) can parametrise over all of them;
+* :func:`crash_workload` builds the deterministic statement sequence the
+  real ``kill -9`` subprocess test replays, and ``python -m
+  repro.storage.faultinject <data_dir> <seed>`` is that test's child
+  process: it applies the workload against a durable session, printing one
+  acknowledgement line per committed write until the parent kills it.
+
+:class:`InjectedCrashError` deliberately derives from :class:`BaseException`:
+a simulated power cut must not be swallowed by any ``except Exception``
+handler between the crash point and the test — the engine's lock-release
+paths already use ``except BaseException`` and re-raise, so state stays
+consistent on the way out.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["CRASH_POINTS", "FaultInjector", "InjectedCrashError",
+           "crash_workload"]
+
+#: Every injectable step of the commit path, in execution order.
+#:
+#: ``commit.pre-append``
+#:     before any WAL byte of the record is written — the write is lost,
+#:     recovery must not see it at all;
+#: ``commit.mid-record``
+#:     a torn write: a strict prefix of the record reaches the file (and is
+#:     flushed), then the crash — recovery must truncate it, not crash;
+#: ``commit.post-append``
+#:     the record is fully written but not yet fsync'd — after a real power
+#:     cut the record may or may not survive, so recovery may land on the
+#:     acknowledged generation or one past it;
+#: ``commit.post-fsync``
+#:     the record is durable but the client never saw the acknowledgement —
+#:     recovery *must* include it or drop it wholesale (here: include);
+#: ``snapshot.mid-write``
+#:     the crash leaves a partial ``snapshot-*.db.tmp`` — recovery ignores
+#:     temporary files entirely;
+#: ``snapshot.pre-rename``
+#:     the tmp snapshot is complete and fsync'd but never renamed into
+#:     place — same: the WAL still covers everything;
+#: ``snapshot.post-rename``
+#:     the new snapshot is visible but the old WAL was never rotated —
+#:     recovery must skip the already-snapshotted WAL prefix, not replay
+#:     it twice.
+CRASH_POINTS = (
+    "commit.pre-append",
+    "commit.mid-record",
+    "commit.post-append",
+    "commit.post-fsync",
+    "snapshot.mid-write",
+    "snapshot.pre-rename",
+    "snapshot.post-rename",
+)
+
+
+class InjectedCrashError(BaseException):
+    """A simulated crash raised at an armed :data:`CRASH_POINTS` step."""
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"injected crash at {point}")
+
+
+class FaultInjector:
+    """Arms crash points; the store fires them as the commit path runs.
+
+    ``arm(point, skip=n)`` makes the *(n+1)*-th firing of *point* crash —
+    earlier passes through the point are counted down and survive.  A point
+    fires at most once per arming; :attr:`fired` records the points that
+    actually crashed, in order.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        #: Points that crashed, in firing order (observability for tests).
+        self.fired: list[str] = []
+
+    def arm(self, point: str, skip: int = 0) -> None:
+        """Arm *point* to crash after *skip* benign passes."""
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}; "
+                             f"known: {', '.join(CRASH_POINTS)}")
+        self._armed[point] = skip
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm *point* (or everything when ``None``)."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def take(self, point: str) -> bool:
+        """Consume one pass through *point*; True when it should crash now.
+
+        Used by code that needs to do damage *itself* before crashing (the
+        WAL's torn ``commit.mid-record`` write); everything else calls
+        :meth:`fire`.
+        """
+        if point not in self._armed:
+            return False
+        if self._armed[point] > 0:
+            self._armed[point] -= 1
+            return False
+        del self._armed[point]
+        self.fired.append(point)
+        return True
+
+    def fire(self, point: str) -> None:
+        """Raise :class:`InjectedCrashError` when *point* is armed."""
+        if self.take(point):
+            raise InjectedCrashError(point)
+
+
+# -- the kill -9 subprocess workload ----------------------------------------------------------
+
+
+def crash_workload(seed: int, writes: int = 40) -> list[str]:
+    """The deterministic write sequence of the ``kill -9`` test.
+
+    Both the child process (which applies it against a durable session until
+    it is killed) and the parent (which replays the acknowledged prefix in
+    memory and compares answers) derive the same statements from *seed*, so
+    the only communication needed is the count of acknowledgements.  The mix
+    covers the whole logged surface: DDL, inserts, a ``repair by key``
+    install (components + presence fields), ``assert`` conditioning and
+    DML on certain relations.
+    """
+    import random
+
+    rng = random.Random(seed)
+    statements = [
+        "create table R (K, V, W);",
+        "insert into R values (1, 10, 0.5);",
+        "insert into R values (1, 20, 0.5);",
+        "insert into R values (2, 30, 1.5);",
+        "create table I as select K, V from R repair by key K weight W;",
+        "create table LOG0 (N, X);",
+    ]
+    next_key = 3
+    for index in range(writes):
+        roll = rng.random()
+        if roll < 0.55:
+            statements.append(
+                f"insert into LOG0 values ({index}, {rng.randint(0, 99)});")
+        elif roll < 0.75:
+            statements.append(
+                f"insert into R values ({next_key}, {rng.randint(0, 99)}, "
+                f"{rng.randint(1, 4)});")
+            next_key += 1
+        elif roll < 0.9:
+            statements.append(
+                f"create table T{index} as select K, V from I "
+                f"where V >= {rng.randint(0, 40)};")
+        else:
+            statements.append(
+                f"update LOG0 set X = X + 1 where N < {index};")
+    return statements
+
+
+def _child_main(argv: list[str]) -> int:
+    """Entry point of the kill -9 test's child process.
+
+    Applies :func:`crash_workload` to a durable session in *data_dir*,
+    printing ``ACK <generation>`` after every committed write; the parent
+    SIGKILLs it somewhere in the middle and recovers the directory.
+    """
+    from ..core.session import MayBMS
+
+    data_dir, seed = argv[0], int(argv[1])
+    snapshot_every = int(argv[2]) if len(argv) > 2 else 5
+    db = MayBMS(backend="wsd", data_dir=data_dir,
+                durability={"snapshot_every": snapshot_every})
+    print("READY", flush=True)
+    for sql in crash_workload(seed):
+        db.execute(sql)
+        print(f"ACK {db.state_generation}", flush=True)
+    print("DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(_child_main(sys.argv[1:]))

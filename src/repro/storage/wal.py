@@ -1,0 +1,245 @@
+"""The append-only write-ahead log of committed statements.
+
+One WAL file holds the redo records that follow one snapshot.  The format is
+deliberately boring:
+
+* a 16-byte header: the magic ``b"WSDWAL1\\n"`` plus the big-endian base
+  generation (the generation of the snapshot the file follows — redundant
+  with the file name, and checked against it on open);
+* then one record per committed write: a 4-byte big-endian payload length, a
+  4-byte CRC-32 of the payload, and the payload itself — UTF-8 JSON carrying
+  the record's generation and the logical redo operation (the statement
+  text + parameters, or a structured programmatic op).
+
+Records are **logical redo** records: the session executes a write in
+memory first and appends the record only if execution succeeded, *before*
+releasing the write lock ("log-before-release").  The generation counter of
+:class:`~repro.serving.locks.GenerationRWLock` is bumped at lock release,
+so WAL order is exactly generation order is exactly replay order.
+
+:meth:`WriteAheadLog.scan` is where crash tolerance lives: it stops at the
+first truncated, torn or checksum-corrupt record and reports how many bytes
+of valid prefix precede it — the store truncates the file there and carries
+on.  A torn trailing record is an expected artefact of a crash, never an
+error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from .faultinject import FaultInjector, InjectedCrashError
+
+__all__ = ["WAL_MAGIC", "WriteAheadLog", "ScanResult", "wal_file_name"]
+
+WAL_MAGIC = b"WSDWAL1\n"
+_HEADER = struct.Struct(">8sQ")
+_PREFIX = struct.Struct(">II")
+
+#: Refuse absurd record lengths instead of allocating gigabytes on a
+#: corrupt length prefix (a torn prefix can decode to anything).
+_MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def wal_file_name(base_generation: int) -> str:
+    """The canonical file name of the WAL following *base_generation*."""
+    return f"wal-{base_generation:016d}.log"
+
+
+@dataclass
+class ScanResult:
+    """What :meth:`WriteAheadLog.scan` found in one WAL file."""
+
+    #: The decoded payloads of every valid record, in file order.
+    records: list[dict] = field(default_factory=list)
+    #: File offset just past the last valid record (the truncation point).
+    valid_bytes: int = 0
+    #: Bytes past the valid prefix (0 when the file ended cleanly).
+    torn_bytes: int = 0
+    #: Why the scan stopped early, when it did (``"torn-prefix"``,
+    #: ``"torn-payload"``, ``"bad-crc"``, ``"bad-json"``).
+    torn_reason: str | None = None
+
+
+class WriteAheadLog:
+    """One open WAL file: append with CRC + fsync, scan with truncation."""
+
+    def __init__(self, path: str, base_generation: int,
+                 fsync: bool = True,
+                 injector: FaultInjector | None = None) -> None:
+        self.path = path
+        self.base_generation = base_generation
+        self.fsync = fsync
+        self.injector = injector or FaultInjector()
+        #: Records appended through this handle (not counting recovered ones).
+        self.appended = 0
+        #: Generation of the last record this handle made durable.
+        self.synced_generation = base_generation
+        self._file = None
+
+    # -- creation and opening ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str, base_generation: int, fsync: bool = True,
+               injector: FaultInjector | None = None) -> "WriteAheadLog":
+        """Atomically create a fresh WAL file and open it for appends.
+
+        The header is written to a ``.tmp`` sibling, fsync'd and renamed
+        into place, so a crash can never leave a half-written header behind
+        under the real name.
+        """
+        path = os.path.join(directory, wal_file_name(base_generation))
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_HEADER.pack(WAL_MAGIC, base_generation))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(directory)
+        wal = cls(path, base_generation, fsync=fsync, injector=injector)
+        wal._open_for_append(_HEADER.size)
+        return wal
+
+    def _open_for_append(self, valid_bytes: int) -> None:
+        self._file = open(self.path, "r+b")
+        self._file.truncate(valid_bytes)
+        self._file.seek(valid_bytes)
+
+    def open_after_scan(self, scan: ScanResult) -> None:
+        """Open for appends, truncating any torn tail *scan* reported."""
+        self._open_for_append(scan.valid_bytes)
+        if scan.records:
+            self.synced_generation = scan.records[-1]["g"]
+
+    # -- appending -----------------------------------------------------------------------
+
+    def append(self, generation: int, payload: dict) -> None:
+        """Durably append one record; raises on any failure (incl. injected).
+
+        The payload's ``"g"`` key is set to *generation*.  On return the
+        record is flushed (and fsync'd when the policy says so) — the write
+        may be acknowledged.  Any exception means the record must be
+        considered *not* acknowledged; the caller puts the store into the
+        failed state.
+        """
+        if self._file is None:
+            raise StorageError(f"WAL {self.path} is not open for appends")
+        payload = dict(payload)
+        payload["g"] = generation
+        self.injector.fire("commit.pre-append")
+        data = json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+        record = _PREFIX.pack(len(data), zlib.crc32(data)) + data
+        if self.injector.take("commit.mid-record"):
+            # A torn write: a strict prefix of the record reaches the disk.
+            torn = record[:max(1, len(record) // 2)]
+            self._file.write(torn)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise InjectedCrashError("commit.mid-record")
+        self._file.write(record)
+        self._file.flush()
+        self.injector.fire("commit.post-append")
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.injector.fire("commit.post-fsync")
+        self.appended += 1
+        self.synced_generation = generation
+
+    # -- scanning -------------------------------------------------------------------------
+
+    @staticmethod
+    def scan_file(path: str, expected_base: int | None = None) -> ScanResult:
+        """Read every valid record of the WAL at *path*; never raises on
+        torn tails.
+
+        Stops at the first record whose length prefix, payload bytes or
+        checksum are incomplete or wrong and reports the valid prefix
+        length, so the caller can truncate and continue.  A bad *header*
+        (wrong magic or base generation) is a :class:`StorageError` — that
+        is not crash damage appends could cause, it is the wrong file.
+        """
+        with open(path, "rb") as handle:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                # A crash between file creation and the header fsync cannot
+                # happen (creation is write-tmp + rename), so a short header
+                # means the file is not one of ours.
+                raise StorageError(f"{path}: truncated WAL header")
+            magic, base = _HEADER.unpack(header)
+            if magic != WAL_MAGIC:
+                raise StorageError(f"{path}: bad WAL magic {magic!r}")
+            if expected_base is not None and base != expected_base:
+                raise StorageError(
+                    f"{path}: header base generation {base} does not match "
+                    f"file name (expected {expected_base})")
+            result = ScanResult(valid_bytes=_HEADER.size)
+            while True:
+                prefix = handle.read(_PREFIX.size)
+                if not prefix:
+                    return result
+                if len(prefix) < _PREFIX.size:
+                    result.torn_bytes = len(prefix)
+                    result.torn_reason = "torn-prefix"
+                    return result
+                length, crc = _PREFIX.unpack(prefix)
+                if length > _MAX_RECORD_BYTES:
+                    data = handle.read()
+                    result.torn_bytes = _PREFIX.size + len(data)
+                    result.torn_reason = "bad-crc"
+                    return result
+                data = handle.read(length)
+                if len(data) < length:
+                    result.torn_bytes = _PREFIX.size + len(data)
+                    result.torn_reason = "torn-payload"
+                    return result
+                if zlib.crc32(data) != crc:
+                    result.torn_bytes = _PREFIX.size + length + \
+                        len(handle.read())
+                    result.torn_reason = "bad-crc"
+                    return result
+                try:
+                    payload = json.loads(data.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    result.torn_bytes = _PREFIX.size + length + \
+                        len(handle.read())
+                    result.torn_reason = "bad-json"
+                    return result
+                result.records.append(payload)
+                result.valid_bytes += _PREFIX.size + length
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Current on-disk size of the WAL file."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.flush()
+                if self.fsync:
+                    os.fsync(self._file.fileno())
+            finally:
+                self._file.close()
+                self._file = None
+
+
+def _fsync_directory(directory: str) -> None:
+    """fsync a directory so renames inside it survive a power cut."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse dir fsync
+        pass
+    finally:
+        os.close(fd)

@@ -21,6 +21,11 @@ supported surfaces (e.g. no DML on uncertain relations, which only the
 explicit backend accepts), so a divergence is always a bug, never a known
 capability gap.
 
+A durability leg runs each program on a disk-backed session too
+(snapshots every few commits), closes and reopens the store, and requires
+the recovered state to answer identically to a session that never left
+memory — the fuzzing counterpart of ``tests/test_crash_recovery.py``.
+
 The example budget honours ``REPRO_FUZZ_EXAMPLES``: unset (the default) keeps
 the quick PR budget; the nightly CI job sets it to 1000+ for an extended
 sweep.  On a failure Hypothesis prints the falsifying program *and* the
@@ -372,6 +377,55 @@ class TestDifferentialFuzz:
                 continue
             actual = native.execute(statement_sql)
             assert_statement_parity(statement_sql, expected, actual)
+
+    @given(program())
+    @settings(max_examples=fuzz_examples(20), deadline=None, print_blob=True)
+    def test_durable_store_round_trips_random_programs(self, workload):
+        """The durability leg: run each random program on a durable wsd
+        session (snapshotting every few commits so recovery exercises both
+        snapshot load *and* WAL replay), close and reopen the store, and
+        require the recovered session to answer identically to a session
+        that never left memory."""
+        import tempfile
+
+        relation, statements = workload
+        memory = MayBMS({"R": relation.copy()}, backend="wsd")
+        with tempfile.TemporaryDirectory() as data_dir:
+            durable = MayBMS({"R": relation.copy()}, backend="wsd",
+                             data_dir=data_dir,
+                             durability={"snapshot_every": 3})
+            executed: list[str] = []
+            for statement_sql in statements:
+                try:
+                    memory.execute(statement_sql)
+                except ReproError:
+                    with pytest.raises(ReproError):
+                        durable.execute(statement_sql)
+                    continue
+                durable.execute(statement_sql)
+                executed.append(statement_sql)
+            generation = durable.state_generation
+            durable.close()
+
+            recovered = MayBMS(backend="wsd", data_dir=data_dir)
+            assert recovered.state_generation == generation
+            assert recovered.table_names() == memory.table_names()
+            probes = [
+                "select conf, K, V from I;",
+                "select possible K, V from I;",
+                "select sum(V) from I group worlds by "
+                "(select sum(V) from I);",
+            ]
+            for probe in probes:
+                try:
+                    expected = memory.execute(probe)
+                except ReproError:
+                    with pytest.raises(ReproError):
+                        recovered.execute(probe)
+                    continue
+                actual = recovered.execute(probe)
+                assert_statement_parity(probe, expected, actual)
+            recovered.close()
 
     @given(program())
     @settings(max_examples=fuzz_examples(20), deadline=None, print_blob=True)
