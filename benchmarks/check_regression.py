@@ -77,6 +77,16 @@ BENCHES = {
         "latency": ["wall ms"],
         "counters": [],
     },
+    "BENCH_SCALE6": {
+        "key": ["workers"],
+        "latency": ["wall ms"],
+        "counters": [],
+    },
+    "BENCH_SCALE6_cache": {
+        "key": ["leg"],
+        "latency": ["median ms"],
+        "counters": [],
+    },
     "BENCH_APPROX1": {
         "key": ["point"],
         "latency": ["exact ms", "rare anytime ms", "dense anytime ms"],

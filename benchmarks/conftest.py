@@ -177,6 +177,32 @@ def scale5_serving_parameters() -> dict:
             "warm_repetitions": 80, "writer_rounds": 10}
 
 
+def scale6_multiprocess_parameters() -> dict:
+    """Parameters for the SCALE-6 multi-process scale-out sweep.
+
+    ``groups``/``options`` size the grounding-heavy SCALE-5 workload the
+    pool serves; ``workers`` are the pool sizes swept against the
+    single-process one-client HTTP baseline; ``clients`` is how many
+    concurrent HTTP client threads drive each pool point;
+    ``reads_per_client`` sizes the timed read runs;
+    ``cold_repetitions``/``hit_repetitions`` size the result-cache cold
+    vs hit latency samples; the ``mixed_*`` knobs size the heavy-traffic
+    read/DML scenario whose every answer is checked against a serial
+    replay of the committed write order.
+    """
+    if BENCH_SMOKE:
+        return {"groups": 8, "options": 12, "workers": (1, 2),
+                "clients": 4, "reads_per_client": 6,
+                "cold_repetitions": 3, "hit_repetitions": 40,
+                "mixed_readers": 4, "mixed_reads": 6,
+                "mixed_writers": 2, "mixed_writes": 3}
+    return {"groups": 20, "options": 12, "workers": (1, 2, 4),
+            "clients": 8, "reads_per_client": 25,
+            "cold_repetitions": 5, "hit_repetitions": 200,
+            "mixed_readers": 8, "mixed_reads": 25,
+            "mixed_writers": 2, "mixed_writes": 8}
+
+
 def dur1_parameters() -> dict:
     """Parameters for the BENCH_DUR1 durability sweep.
 

@@ -15,7 +15,10 @@ Statements end with ``;``.  Meta commands start with a dot:
     python -m repro serve --backend wsd --host 127.0.0.1 --port 8850
 
 One shared session (preloaded like the shell) serves every request thread;
-POST ``{"sql": ..., "params": [...]}`` to ``/query``.
+POST ``{"sql": ..., "params": [...]}`` to ``/query``.  With ``--workers N``
+the session is served by ``N`` forked reader processes sharing the loaded
+state copy-on-write, with writes routed to the single writer process (see
+:mod:`repro.serving.workers`).
 """
 
 from __future__ import annotations
@@ -85,9 +88,23 @@ def _serve(argv: list[str]) -> int:
                              "answer 503 + Retry-After instead of blocking")
     parser.add_argument("--max-body-bytes", type=int, default=1_000_000,
                         help="reject larger POST bodies with 413")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fork N reader worker processes after the "
+                             "dataset is loaded/recovered (copy-on-write "
+                             "state sharing); reads are answered by any "
+                             "worker, writes route to the single writer "
+                             "process and replicate back; 1 = the "
+                             "single-process threaded server")
+    parser.add_argument("--result-cache", type=int, default=256,
+                        metavar="N",
+                        help="per-process LRU of read answers keyed on "
+                             "(sql, params, generation); 0 disables")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
     options = parser.parse_args(argv)
+    if options.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 1
     write_timeout = (options.write_timeout_ms / 1000.0
                      if options.write_timeout_ms is not None else None)
     try:
@@ -100,9 +117,25 @@ def _serve(argv: list[str]) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if options.workers > 1:
+        from .serving.workers import WorkerPool
+
+        try:
+            pool = WorkerPool(session, workers=options.workers,
+                              host=options.host, port=options.port,
+                              verbose=options.verbose,
+                              max_body_bytes=options.max_body_bytes,
+                              result_cache_size=options.result_cache)
+            pool.start()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        pool.serve()
+        return 0
     server = MayBMSServer(session, host=options.host, port=options.port,
                           verbose=options.verbose,
-                          max_body_bytes=options.max_body_bytes)
+                          max_body_bytes=options.max_body_bytes,
+                          result_cache_size=options.result_cache)
     server.serve()
     return 0
 

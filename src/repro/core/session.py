@@ -50,6 +50,7 @@ from ..sqlparser.parser import parse_prepared, split_statements
 from ..storage.store import (
     DurableStore,
     RecoveryReport,
+    apply_record,
     ast_record,
     create_table_record,
     insert_record,
@@ -301,6 +302,48 @@ class MayBMS:
         return self._durable_write(
             lambda: self.backend.execute_statement(statement),
             lambda: ast_record(statement), statement=statement)
+
+    # -- multi-process scale-out ----------------------------------------------------------------
+
+    def apply_replicated(self, record: dict) -> int:
+        """Apply one committed redo record replicated from the writer.
+
+        The multi-process worker pool routes every write to the single
+        writer process; the writer commits (WAL log-before-release) and
+        replicates the redo record — tagged with the generation the commit
+        published — to each reader worker, which replays it here.  The
+        record applies under this session's write lock and must be the
+        *next* generation: replication is a per-worker ordered stream, so a
+        gap means a record was lost and the replica must not silently
+        diverge.  Returns the new local generation; on success it equals
+        ``record["g"]`` and every generation-keyed cache behaves exactly as
+        if the write had run locally.
+        """
+        expected = record.get("g")
+        with self.lock.write():
+            if expected != self.lock.generation + 1:
+                raise AnalysisError(
+                    f"replicated record generation {expected} does not "
+                    f"follow local generation {self.lock.generation} — "
+                    "the replication stream lost a record")
+            apply_record(self.backend, record)
+        return self.lock.generation
+
+    def disown_store(self) -> None:
+        """Renounce durable-store ownership in a forked reader worker.
+
+        Exactly one process — the writer — may own the WAL handle after a
+        fork.  The worker closes its inherited duplicate without flushing
+        (see :meth:`~repro.storage.store.DurableStore.disinherit`), drops
+        the store so new prepared statements never try to log, and clears
+        the statement cache, whose pre-fork entries still point at the
+        disinherited store (its per-thread plans and inherited mutex state
+        would be stale across the fork anyway).
+        """
+        if self.store is not None:
+            self.store.disinherit()
+            self.store = None
+        self.statement_cache = StatementCache(self.statement_cache.capacity)
 
     # -- durability ----------------------------------------------------------------------------
 

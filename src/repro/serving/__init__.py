@@ -10,18 +10,32 @@ single-threaded interpreter into a compile-once / serve-many engine:
   session many concurrent readers, exclusive writers, and generation-keyed
   cache invalidation;
 * :mod:`repro.serving.server` — a JSON-over-HTTP front end
-  (``python -m repro serve``).
+  (``python -m repro serve``), plus the generation-keyed
+  :class:`ResultCache` of rendered read answers;
+* :mod:`repro.serving.workers` — multi-process scale-out
+  (``python -m repro serve --workers N``): a pre-fork :class:`WorkerPool`
+  sharing the loaded state copy-on-write, single-writer commit and
+  generation-ordered replication to every reader worker.
 """
 
 from .locks import GenerationRWLock
-from .prepared import PreparedStatement, StatementCache, statement_is_read
-from .server import MayBMSServer, result_payload
+from .prepared import (
+    PreparedStatement,
+    ResultCache,
+    StatementCache,
+    statement_is_read,
+)
+from .server import MayBMSServer, execute_request, result_payload
+from .workers import WorkerPool
 
 __all__ = [
     "GenerationRWLock",
     "MayBMSServer",
     "PreparedStatement",
+    "ResultCache",
     "StatementCache",
+    "WorkerPool",
+    "execute_request",
     "result_payload",
     "statement_is_read",
 ]

@@ -101,13 +101,29 @@ class GenerationRWLock:
                     if remaining <= 0:
                         raise WriteTimeoutError(timeout)
                     self._writer_ok.wait(remaining)
-            finally:
+            except BaseException:
                 self._writers_waiting -= 1
-                if not self._writers_waiting and not self._writer_active:
+                if self._writers_waiting:
+                    # Pass the wakeup on.  ``release_read`` /
+                    # ``release_write`` mint exactly ONE
+                    # ``_writer_ok.notify()`` per release, and the
+                    # condition may have delivered it to *us* — a waiter
+                    # whose timed wait had already expired — in which case
+                    # the token dies with this exception unless we hand it
+                    # to the next queued writer.  Re-notifying is always
+                    # safe (a spuriously woken writer just rechecks the
+                    # predicate and waits again); *not* re-notifying lets a
+                    # queued writer sleep through a wakeup that was meant
+                    # for it, starving it while timed-out writers churn.
+                    self._writer_ok.notify()
+                elif not self._writer_active:
                     # We may have been the writer readers were queueing
                     # behind; without this wake a timed-out acquisition
                     # would leave them blocked forever.
                     self._readers_ok.notify_all()
+                raise
+            else:
+                self._writers_waiting -= 1
             self._writer_active = True
 
     def release_write(self, bump: bool = True) -> int:

@@ -52,7 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.options import QueryOptions
     from ..core.results import StatementResult
 
-__all__ = ["PreparedStatement", "StatementCache", "statement_is_read"]
+__all__ = ["PreparedStatement", "ResultCache", "StatementCache",
+           "statement_is_read"]
 
 
 def statement_is_read(statement: Statement) -> bool:
@@ -203,7 +204,94 @@ class StatementCache:
                 self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # /stats calls this from handler threads concurrent with ``put``
+        # eviction; an unsynchronised read can observe the OrderedDict
+        # mid-resize.
+        with self._mutex:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """One consistent ``{"size", "hits", "misses"}`` reading.
+
+        ``size``/``hits``/``misses`` are taken under the mutex together, so
+        an observer can never see e.g. a miss counted whose entry is not in
+        the size yet.
+        """
+        with self._mutex:
+            return {"size": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+
+class ResultCache:
+    """A bounded LRU of rendered read answers keyed on text, args, generation.
+
+    The serving layer consults it *before* executing a read: the key is
+    ``(statement_text, params, generation)``, so a DML commit — which bumps
+    the generation — makes every older entry unreachable without any
+    explicit invalidation (exactly the generation-keyed discipline the
+    grounding cache already follows).  Entries are stored under the
+    generation the execution actually observed (reported by
+    :meth:`PreparedStatement.execute_with_generation`), never under a
+    generation read separately — so a cached answer is always the answer a
+    serial execution at that generation produces.
+
+    Only plain reads are cached: statements with per-request options
+    (deadlines, degradation overrides) and approximate answers bypass the
+    cache entirely.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(sql: str, parameters: Sequence[Any],
+            generation: int) -> tuple | None:
+        """The cache key, or ``None`` when the arguments are unhashable."""
+        key = (sql, tuple(parameters), generation)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def get(self, key: tuple | None) -> Any | None:
+        if key is None:
+            return None
+        with self._mutex:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: tuple | None, payload: Any) -> None:
+        if key is None:
+            return
+        with self._mutex:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """One consistent ``{"size", "capacity", "hits", "misses"}``."""
+        with self._mutex:
+            return {"size": len(self._entries), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses}
 
     def clear(self) -> None:
         with self._mutex:

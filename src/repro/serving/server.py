@@ -17,9 +17,16 @@ Endpoints
     ``seed`` and ``confidence_level``, which override the session defaults
     for this one request.  The SQL may contain ``?`` placeholders; repeated
     statements hit the session's prepared-statement cache.  Responds with
-    the JSON rendering of the statement result (see :func:`result_payload`);
-    approximate answers carry ``"approximate": true`` and an
-    ``"approximation"`` contract (worst ε, confidence level, samples).
+    the JSON rendering of the statement result (see :func:`result_payload`)
+    plus ``"generation"`` — the snapshot a read answered against, or the
+    generation a write produced; approximate answers carry
+    ``"approximate": true`` and an ``"approximation"`` contract (worst ε,
+    confidence level, samples).  With ``result_cache_size > 0`` plain
+    repeated reads are answered from a ``(sql, params, generation)``-keyed
+    LRU without executing at all.  Non-finite float cells are rendered as
+    their string forms (``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``) —
+    bodies are strict JSON (``allow_nan=False``), never the bare JavaScript
+    literals.
 
 ``GET /health``
     ``{"ok": true, "backend": ..., "generation": ..., "tables": [...],
@@ -55,6 +62,8 @@ unstructured 500.
 from __future__ import annotations
 
 import json
+import math
+import sys
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
@@ -65,19 +74,48 @@ from ..errors import (
     ResourceBudgetError,
     WriteTimeoutError,
 )
+from ..storage.store import sql_record
+from .prepared import ResultCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import StatementResult
     from ..core.session import MayBMS
 
-__all__ = ["MayBMSServer", "result_payload"]
+__all__ = ["MayBMSServer", "QuietHTTPServer", "execute_request",
+           "result_payload"]
 
 
 def _json_value(value: Any) -> Any:
-    """A JSON-safe rendering of one cell value."""
-    if value is None or isinstance(value, (bool, int, float, str)):
+    """A JSON-safe rendering of one cell value.
+
+    Non-finite floats have no JSON spelling — ``json.dumps`` would emit the
+    JavaScript literals ``NaN`` / ``Infinity``, which strict parsers refuse
+    — so they are rendered as their string forms instead (and every body is
+    serialised with ``allow_nan=False``, so a bare non-finite can never
+    slip through).
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
         return value
     return str(value)
+
+
+def _jsonable(payload: Any) -> Any:
+    """Recursively apply :func:`_json_value` to a response payload.
+
+    Covers the spots a non-finite float can reach beyond relation cells:
+    world probabilities, approximation contracts, error payloads.
+    """
+    if isinstance(payload, dict):
+        return {name: _jsonable(value) for name, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_jsonable(value) for value in payload]
+    return _json_value(payload)
 
 
 def _relation_payload(relation) -> dict:
@@ -122,6 +160,105 @@ def result_payload(result: "StatementResult") -> dict:
     return payload
 
 
+def execute_request(session: "MayBMS", sql: str, params: list,
+                    options: dict | None = None,
+                    result_cache: ResultCache | None = None,
+                    ) -> tuple[int, dict, dict[str, str], dict | None]:
+    """Execute one ``/query`` request; the whole serving contract in one call.
+
+    Returns ``(status, payload, extra_headers, committed)``.  This is the
+    single place the error ladder lives — the HTTP handler, the worker
+    pool's writer loop and the replication path all answer through it, so a
+    budget overrun maps to the same structured 400/408, a write-lock
+    timeout to the same 503 + ``Retry-After``, and an engine error to the
+    same 400 regardless of which process executed the statement.
+
+    ``committed`` is ``None`` for reads and failed writes; for a committed
+    write it is the :func:`~repro.storage.store.sql_record` redo record
+    with its ``"g"`` generation — exactly what the writer process
+    replicates to every reader worker (and the WAL already logged).
+
+    Every successful payload carries ``"generation"``: the snapshot a read
+    answered against, or the generation a write produced — the key clients
+    (and the benchmarks' serial-replay checker) order answers by.
+
+    With a *result_cache*, plain reads (no per-request options) are first
+    looked up at the session's current generation; a hit skips execution
+    entirely.  Fills happen under the generation
+    :meth:`~repro.serving.prepared.PreparedStatement.execute_with_generation`
+    actually observed, so a cached payload is always the serial answer at
+    its generation — a concurrent DML commit simply makes the entry
+    unreachable.
+    """
+    try:
+        prepared = session.prepare(sql)
+    except ReproError as error:
+        return 400, {"error": str(error),
+                     "type": type(error).__name__}, {}, None
+    except Exception as error:  # keep the always-JSON contract
+        return 500, {"error": str(error),
+                     "type": type(error).__name__}, {}, None
+    cacheable = (result_cache is not None and prepared.is_read
+                 and not options)
+    if cacheable:
+        cached = result_cache.get(
+            result_cache.key(sql, params, session.state_generation))
+        if cached is not None:
+            return 200, cached, {}, None
+    try:
+        result, generation = prepared.execute_with_generation(
+            tuple(params), options or None)
+    except WriteTimeoutError as error:
+        # The write lock could not be had in time: the server stayed
+        # responsive instead of parking the handler thread forever, and
+        # the client learns when to come back.
+        return 503, {"error": error.payload(),
+                     "type": type(error).__name__}, \
+            {"Retry-After": str(error.retry_after)}, None
+    except ResourceBudgetError as error:
+        # The structured refusal contract: budget overruns answer with
+        # machine-readable kind/budget/observed (and the partial
+        # estimate on deadline expiry) — never an unstructured 500.
+        status = 408 if isinstance(error, DeadlineExceededError) else 400
+        return status, {"error": error.payload(),
+                        "type": type(error).__name__}, {}, None
+    except ReproError as error:
+        return 400, {"error": str(error),
+                     "type": type(error).__name__}, {}, None
+    except Exception as error:  # keep the always-JSON contract
+        return 500, {"error": str(error),
+                     "type": type(error).__name__}, {}, None
+    payload = result_payload(result)
+    payload["generation"] = generation
+    if prepared.is_read:
+        if cacheable and not result.approximate:
+            result_cache.put(result_cache.key(sql, params, generation),
+                             payload)
+        return 200, payload, {}, None
+    committed = sql_record(sql, tuple(params))
+    committed["g"] = generation
+    return 200, payload, {}, committed
+
+
+class QuietHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that treats client hangups as routine.
+
+    ``_Handler._respond`` already swallows mid-response disconnects, but a
+    peer that resets the connection can also surface the error from layers
+    outside the handler's control — the keep-alive request read, or
+    socketserver's own stream teardown in ``finish()``.  Those all funnel
+    through :meth:`handle_error`; a vanished client is not a server error,
+    so it must not dump a traceback per disconnect.
+    """
+
+    def handle_error(self, request, client_address):
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError,
+                            ConnectionAbortedError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)  # pragma: no cover
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request; the shared session hangs off the server object."""
 
@@ -140,14 +277,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict,
                  extra_headers: dict[str, str] | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        body = json.dumps(_jsonable(payload), allow_nan=False).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up before (or while) reading its answer.
+            # There is nobody left to respond to and nothing wrong with the
+            # server — swallowing the error here keeps ThreadingHTTPServer
+            # from dumping a traceback per early disconnect.  The connection
+            # is unusable mid-stream, so make the keep-alive loop stop
+            # instead of trying to parse a next request from it.
+            self.close_connection = True
 
     def _read_body(self) -> bytes | None:
         """Drain and return the request body; None after answering 4xx.
@@ -204,7 +350,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/health":
             backend = self.session.backend
-            self._respond(200, {
+            payload = {
                 "ok": True,
                 "backend": self.session.backend_name,
                 "generation": self.session.state_generation,
@@ -212,7 +358,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "budgets": backend.budgets.as_dict(),
                 "degradation": backend.degradation,
                 "durability": self.session.durability_health(),
-            })
+            }
+            scale_out = getattr(self.server, "scale_out", None)
+            if scale_out is not None:
+                payload["scale_out"] = dict(scale_out)
+            self._respond(200, payload)
             return
         if self.path == "/stats":
             self._respond(200, self._stats_payload())
@@ -246,47 +396,42 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(400, {"error": str(error),
                                 "type": type(error).__name__})
             return
-        try:
-            result = self.session.execute(sql, params,
-                                          options=options or None)
-        except WriteTimeoutError as error:
-            # The write lock could not be had in time: the server stayed
-            # responsive instead of parking the handler thread forever, and
-            # the client learns when to come back.
-            self._respond(503, {"error": error.payload(),
-                                "type": type(error).__name__},
-                          extra_headers={
-                              "Retry-After": str(error.retry_after)})
-            return
-        except ResourceBudgetError as error:
-            # The structured refusal contract: budget overruns answer with
-            # machine-readable kind/budget/observed (and the partial
-            # estimate on deadline expiry) — never an unstructured 500.
-            status = 408 if isinstance(error, DeadlineExceededError) else 400
-            self._respond(status, {"error": error.payload(),
-                                   "type": type(error).__name__})
-            return
-        except ReproError as error:
-            self._respond(400, {"error": str(error),
-                                "type": type(error).__name__})
-            return
-        except Exception as error:  # keep the always-JSON contract
-            self._respond(500, {"error": str(error),
-                                "type": type(error).__name__})
-            return
-        self._respond(200, result_payload(result))
+        forwarder = getattr(self.server, "write_forwarder", None)
+        if forwarder is not None:
+            # Multi-process reader worker: writes route to the single
+            # writer process.  Classification needs only a parse (cached in
+            # the statement LRU); unparseable SQL answers locally.
+            try:
+                prepared = self.session.prepare(sql)
+            except ReproError as error:
+                self._respond(400, {"error": str(error),
+                                    "type": type(error).__name__})
+                return
+            if not prepared.is_read:
+                status, payload, headers = forwarder(sql, params,
+                                                     options or None)
+                self._respond(status, payload, headers or None)
+                return
+        status, payload, headers, _ = execute_request(
+            self.session, sql, params, options or None,
+            result_cache=getattr(self.server, "result_cache", None))
+        self._respond(status, payload, headers or None)
 
     def _stats_payload(self) -> dict:
         session = self.session
         payload: dict[str, Any] = {
             "backend": session.backend_name,
             "generation": session.state_generation,
-            "statement_cache": {
-                "size": len(session.statement_cache),
-                "hits": session.statement_cache.hits,
-                "misses": session.statement_cache.misses,
-            },
+            # One consistent size/hits/misses reading (taken under the
+            # cache mutex), not three racing attribute reads.
+            "statement_cache": session.statement_cache.snapshot(),
         }
+        result_cache = getattr(self.server, "result_cache", None)
+        if result_cache is not None:
+            payload["result_cache"] = result_cache.snapshot()
+        scale_out = getattr(self.server, "scale_out", None)
+        if scale_out is not None:
+            payload["scale_out"] = dict(scale_out)
         backend = session.backend
         for name in ("stats", "confidence_stats", "aggregate_stats"):
             counters = getattr(backend, name, None)
@@ -300,12 +445,17 @@ class MayBMSServer:
 
     def __init__(self, session: "MayBMS", host: str = "127.0.0.1",
                  port: int = 8850, verbose: bool = False,
-                 max_body_bytes: int = 1_000_000) -> None:
+                 max_body_bytes: int = 1_000_000,
+                 result_cache_size: int = 0) -> None:
         self.session = session
-        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        #: Generation-keyed LRU of rendered read answers (``0`` disables).
+        self.result_cache = (ResultCache(result_cache_size)
+                             if result_cache_size else None)
+        self.httpd = QuietHTTPServer((host, port), _Handler)
         self.httpd.session = session  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self.httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+        self.httpd.result_cache = self.result_cache  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
 
     @property

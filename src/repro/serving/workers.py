@@ -1,0 +1,427 @@
+"""Multi-process scale-out serving: a pre-fork worker pool.
+
+The GIL caps one process's CPU-bound read throughput at roughly one core
+(BENCH_SCALE5_threads is flat from 1 to 8 threads).  The paper's
+representation is the way out: a world-set decomposition is compact and
+*immutable until DML*, which makes it ideal for copy-on-write sharing across
+forked processes.  :class:`WorkerPool` exploits that:
+
+* the parent builds (or recovers) the session **first**, creates the
+  listening socket, and only then forks ``N`` reader workers — the
+  decomposition, grounding caches and compiled plans are inherited
+  copy-on-write, so a worker starts hot without serialising any state;
+* **reads** are answered by whichever worker accepts the connection (every
+  worker accepts on the shared inherited listener — the kernel load-balances
+  ``accept``);
+* **writes** route over a local socketpair to the single **writer
+  process** (the parent), which executes and commits exactly as the
+  single-process server does — WAL log-before-release, generation bumped at
+  lock release — and then replicates the committed redo record, tagged with
+  its generation, to every worker;
+* each worker replays replicated records **in generation order** under its
+  local :class:`~repro.serving.locks.GenerationRWLock`
+  (:meth:`~repro.core.session.MayBMS.apply_replicated` refuses gaps), so
+  its generation counter tracks the writer's and every generation-keyed
+  cache — grounding, statement, result — invalidates exactly as in the
+  single-process case.
+
+Replication reuses the WAL vocabulary end to end: the wire format is the
+WAL record framing (:func:`~repro.storage.wal.frame_payload` — length +
+CRC-32 + JSON) and the payload is the same
+:func:`~repro.storage.store.sql_record` redo record the WAL just logged,
+interpreted by the same :func:`~repro.storage.store.apply_record` replayer
+crash recovery uses.
+
+Fork safety: forks happen while holding the replication mutex *and* the
+session write lock, so no commit, broadcast or statement execution is in
+flight while the address space is duplicated.  Immediately after the fork a
+worker disowns the durable store
+(:meth:`~repro.core.session.MayBMS.disown_store`): the writer alone owns
+the WAL handle and snapshot I/O.  A worker that dies is respawned by the
+monitor thread from the parent's *current* state — the parent is the
+writer, so its memory is always the authoritative committed state.
+
+Limitations (by design, documented in the README): programmatic writes on
+the parent session bypass replication — in pool mode all DML must flow
+through ``/query``; read-your-writes is per-generation, not per-connection
+(a read may land on a worker that has not applied the very latest commit
+yet; its answer is exact for the generation it reports).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+from ..storage.codec import decode_row, encode_row
+from ..storage.wal import FRAME_PREFIX, frame_payload, parse_framed_payload
+from .prepared import ResultCache
+from .server import QuietHTTPServer, _Handler, execute_request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.session import MayBMS
+
+__all__ = ["WorkerPool", "recv_frame", "send_frame"]
+
+
+# -- socket frames (the WAL record format over a stream) --------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one WAL-framed JSON payload over *sock*."""
+    sock.sendall(frame_payload(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    data = b""
+    while len(data) < count:
+        try:
+            chunk = sock.recv(count - len(data))
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one WAL-framed payload; ``None`` on EOF / connection loss."""
+    prefix = _recv_exact(sock, FRAME_PREFIX.size)
+    if prefix is None:
+        return None
+    length, crc = FRAME_PREFIX.unpack(prefix)
+    data = _recv_exact(sock, length)
+    if data is None:
+        return None
+    return parse_framed_payload(data, crc)
+
+
+# -- the worker side --------------------------------------------------------------------------
+
+
+class _WriterClient:
+    """A worker's connection to the writer process (shared by its threads)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._mutex = threading.Lock()
+
+    def execute(self, sql: str, params: list,
+                options: dict | None) -> tuple[int, dict, dict]:
+        """Forward one write to the writer; returns (status, payload, headers)."""
+        request = {"sql": sql, "params": encode_row(tuple(params))}
+        if options:
+            request["options"] = options
+        with self._mutex:
+            try:
+                send_frame(self._sock, request)
+                reply = recv_frame(self._sock)
+            except OSError:
+                reply = None
+        if reply is None:  # pragma: no cover - writer death is fatal anyway
+            return 503, {"error": "the writer process is unavailable",
+                         "type": "WriterUnavailable"}, {}
+        return reply["status"], reply["payload"], reply.get("headers", {})
+
+
+class _Worker:
+    """The parent's bookkeeping for one forked reader worker."""
+
+    def __init__(self, index: int, pid: int, cmd_sock: socket.socket,
+                 repl_sock: socket.socket) -> None:
+        self.index = index
+        self.pid = pid
+        #: Parent end of the write-forwarding channel (worker -> writer).
+        self.cmd_sock = cmd_sock
+        #: Parent end of the replication channel (writer -> worker).
+        self.repl_sock = repl_sock
+        self.thread: threading.Thread | None = None
+
+    def close(self) -> None:
+        for sock in (self.cmd_sock, self.repl_sock):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+class WorkerPool:
+    """``N`` forked reader processes around one single-writer session.
+
+    Build the session (load / recover) first, then ``start()`` — the fork
+    happens afterwards, so every worker shares the loaded state
+    copy-on-write.  The parent process is the writer: it never serves HTTP
+    itself; it executes forwarded writes, commits them durably and
+    replicates the redo records.
+    """
+
+    def __init__(self, session: "MayBMS", workers: int = 2,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False, max_body_bytes: int = 1_000_000,
+                 result_cache_size: int = 256, backlog: int = 128) -> None:
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
+            raise ReproError(
+                "multi-process serving requires os.fork (POSIX); "
+                "use the single-process server on this platform")
+        if workers < 1:
+            raise ReproError("a worker pool needs at least one worker")
+        self.session = session
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
+        #: Per-worker result-cache capacity (0 disables).
+        self.result_cache_size = result_cache_size
+        self.backlog = backlog
+        #: How many workers died and were respawned (observability).
+        self.respawned = 0
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._workers: dict[int, _Worker] = {}
+        #: Serialises commit + broadcast, so replication-stream order is
+        #: exactly generation order; also held across forks (quiescing).
+        self._replication_mutex = threading.Lock()
+        self._shutting_down = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Bind the shared listener, fork the workers, start the writer."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.backlog)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        for index in range(self.workers):
+            self._spawn(index)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="pool-monitor", daemon=True)
+        self._monitor.start()
+        return self
+
+    def worker_pids(self) -> list[int]:
+        """The live worker PIDs, by worker index."""
+        return [worker.pid
+                for _, worker in sorted(self._workers.items())]
+
+    def serve(self) -> None:  # pragma: no cover - blocking CLI loop
+        """Block until interrupted, then shut the pool down."""
+        host, port = self.address
+        print(f"maybms-repro serving on http://{host}:{port} with "
+              f"{self.workers} worker process(es) "
+              f"(backend={self.session.backend_name}, single-writer "
+              f"pid={os.getpid()}); POST /query, GET /health, GET /stats")
+        try:
+            self._shutting_down.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Terminate every worker, reap it, and release the listener."""
+        self._shutting_down.set()
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
+            try:
+                os.kill(worker.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            self._reap(worker.pid, deadline)
+            worker.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+            self._monitor = None
+
+    @staticmethod
+    def _reap(pid: int, deadline: float) -> None:
+        """Wait for *pid* to exit; SIGKILL it past *deadline*."""
+        killed = False
+        while True:
+            try:
+                reaped, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return  # already reaped (by the monitor)
+            if reaped == pid:
+                return
+            if not killed and time.monotonic() > deadline:
+                try:  # pragma: no cover - only on a wedged worker
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover
+                    return
+                killed = True
+            time.sleep(0.01)
+
+    # -- forking ------------------------------------------------------------------------------
+
+    def _spawn(self, index: int) -> None:
+        """Fork worker *index* from the parent's current state.
+
+        The fork happens under the replication mutex and the session write
+        lock: no commit or broadcast is in flight, no statement is
+        mid-execution, and the WAL buffer is empty — the child gets a
+        quiescent, committed snapshot of the writer's memory.  Used both
+        for the initial pool and to respawn a dead worker (the parent is
+        the writer, so its memory is always the authoritative state; a
+        broadcast sent right after the fork lands in the new socketpair's
+        buffer and is replayed once the child's replication thread starts).
+        """
+        cmd_parent, cmd_child = socket.socketpair()
+        repl_parent, repl_child = socket.socketpair()
+        with self._replication_mutex:
+            self.session.lock.acquire_write()
+            try:
+                pid = os.fork()
+            except BaseException:  # pragma: no cover - fork failure
+                self.session.lock.release_write(bump=False)
+                cmd_parent.close(); cmd_child.close()
+                repl_parent.close(); repl_child.close()
+                raise
+            if pid == 0:  # pragma: no cover - runs in the forked child
+                self.session.lock.release_write(bump=False)
+                cmd_parent.close()
+                repl_parent.close()
+                self._worker_main(index, cmd_child, repl_child)
+                os._exit(0)  # unreachable; _worker_main never returns
+            self.session.lock.release_write(bump=False)
+        cmd_child.close()
+        repl_child.close()
+        worker = _Worker(index, pid, cmd_parent, repl_parent)
+        self._workers[index] = worker
+        worker.thread = threading.Thread(
+            target=self._writer_loop, args=(worker,),
+            name=f"pool-writer-{index}", daemon=True)
+        worker.thread.start()
+
+    # -- the worker process (forked children only) --------------------------------------------
+
+    def _worker_main(self, index: int, cmd_sock: socket.socket,
+                     repl_sock: socket.socket) -> None:  # pragma: no cover
+        # Runs only in forked children, which coverage cannot see.
+        try:
+            signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+            # Drop every descriptor that belongs to the parent or to
+            # sibling workers (inherited across the fork).
+            for sibling in self._workers.values():
+                sibling.close()
+            self._workers.clear()
+            # The writer alone owns the WAL handle and snapshot I/O; this
+            # also replaces the statement cache (whose pre-fork entries
+            # still reference the store) with a fresh, unlocked one.
+            self.session.disown_store()
+            httpd = QuietHTTPServer(self.address, _Handler,
+                                    bind_and_activate=False)
+            httpd.socket.close()  # the unbound placeholder socket
+            httpd.socket = self._listener
+            httpd.server_address = self._listener.getsockname()
+            httpd.server_name = self.address[0]
+            httpd.server_port = self.address[1]
+            httpd.daemon_threads = True
+            httpd.session = self.session
+            httpd.verbose = self.verbose
+            httpd.max_body_bytes = self.max_body_bytes
+            httpd.result_cache = (ResultCache(self.result_cache_size)
+                                  if self.result_cache_size else None)
+            httpd.write_forwarder = _WriterClient(cmd_sock).execute
+            httpd.scale_out = {"role": "reader", "worker": index,
+                               "pid": os.getpid(), "workers": self.workers}
+            replicator = threading.Thread(
+                target=self._replication_loop, args=(repl_sock,),
+                name="pool-replication", daemon=True)
+            replicator.start()
+            httpd.serve_forever(poll_interval=0.05)
+            os._exit(0)
+        except BaseException:
+            os._exit(3)
+
+    def _replication_loop(self, repl_sock: socket.socket
+                          ) -> None:  # pragma: no cover - forked children
+        while True:
+            record = recv_frame(repl_sock)
+            if record is None:
+                # The writer (parent) is gone: a worker must not keep
+                # serving reads that can never see another commit.
+                os._exit(1)
+            # Replays under the local write lock in generation order; a
+            # divergence (generation gap, failed apply) exits the worker —
+            # the monitor respawns a consistent copy from the writer.
+            self.session.apply_replicated(record)
+
+    # -- the writer side (parent process) ------------------------------------------------------
+
+    def _writer_loop(self, worker: _Worker) -> None:
+        """Serve one worker's forwarded writes until its socket closes."""
+        while True:
+            request = recv_frame(worker.cmd_sock)
+            if request is None:
+                return  # worker died or pool shut down; monitor respawns
+            params = list(decode_row(request.get("params", [])))
+            # Commit and broadcast under one mutex: the replication stream
+            # must carry records in exactly generation order.
+            with self._replication_mutex:
+                status, payload, headers, committed = execute_request(
+                    self.session, request["sql"], params,
+                    request.get("options") or None)
+                if committed is not None:
+                    self._broadcast(committed)
+            try:
+                send_frame(worker.cmd_sock, {"status": status,
+                                             "payload": payload,
+                                             "headers": headers})
+            except OSError:
+                return
+
+    def _broadcast(self, record: dict) -> None:
+        """Replicate one committed record to every live worker."""
+        for worker in list(self._workers.values()):
+            try:
+                send_frame(worker.repl_sock, record)
+            except OSError:
+                # The worker died mid-broadcast; the monitor will respawn
+                # it from the parent's current (post-commit) state.
+                pass
+
+    # -- worker supervision --------------------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        """Reap dead workers and respawn them from current state."""
+        while not self._shutting_down.is_set():
+            try:
+                pid, _status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                pid = 0
+            if pid == 0 or self._shutting_down.is_set():
+                self._shutting_down.wait(0.05)
+                continue
+            index = next((i for i, w in self._workers.items()
+                          if w.pid == pid), None)
+            if index is None:
+                continue
+            dead = self._workers.pop(index)
+            dead.close()
+            self.respawned += 1
+            self._spawn(index)
+
+    # -- context manager ----------------------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start() if self._listener is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

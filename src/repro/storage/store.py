@@ -49,7 +49,7 @@ from .snapshot import load_snapshot, write_snapshot
 from .wal import WriteAheadLog, _fsync_directory
 
 __all__ = ["DurabilityConfig", "DurableStore", "RecoveryReport",
-           "sql_record", "ast_record", "create_table_record",
+           "apply_record", "sql_record", "ast_record", "create_table_record",
            "register_relation_record", "insert_record"]
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.db$")
@@ -142,6 +142,57 @@ def register_relation_record(relation: Relation, name: str) -> dict:
 def insert_record(table: str, rows: list) -> dict:
     return {"op": "insert", "table": table,
             "rows": [encode_row(row) for row in rows]}
+
+
+def apply_record(backend, record: dict) -> Statement | None:
+    """Re-execute one redo record against *backend*; returns the statement.
+
+    This is the shared redo interpreter: crash recovery replays WAL records
+    through it, and the multi-process serving layer replays writer->worker
+    replication records through it — the two streams share the same record
+    vocabulary, so a replicated statement applies exactly as a recovered
+    one.  Returns the parsed/unpickled statement for ``sql``/``ast`` records
+    (so callers can observe view DDL) and ``None`` for structured
+    programmatic ops.
+    """
+    op = record.get("op")
+    try:
+        if op == "sql":
+            statement, _ = parse_prepared(record["sql"])
+            parameters = decode_row(record.get("params", []))
+            with bound_parameters(parameters):
+                backend.execute_statement(statement)
+            return statement
+        if op == "ast":
+            statement = pickle_from_text(record["data"])
+            backend.execute_statement(statement)
+            return statement
+        if op == "create_table":
+            backend.create_table(
+                record["name"], decode_columns(record["columns"]),
+                [decode_row(row) for row in record["rows"]],
+                record.get("primary_key"))
+            return None
+        if op == "register_relation":
+            columns = decode_columns(record["columns"])
+            relation = Relation(
+                Schema(columns),
+                [decode_row(row) for row in record["rows"]],
+                name=record["name"])
+            backend.register_relation(relation, record["name"])
+            return None
+        if op == "insert":
+            backend.insert(
+                record["table"],
+                [decode_row(row) for row in record["rows"]])
+            return None
+        raise RecoveryError(f"unknown WAL record op {op!r}")
+    except RecoveryError:
+        raise
+    except Exception as error:
+        raise RecoveryError(
+            f"replaying record g={record.get('g')} op={op!r} failed: "
+            f"{error}") from error
 
 
 # -- the store --------------------------------------------------------------------------------
@@ -375,42 +426,9 @@ class DurableStore:
 
     def _apply_record(self, record: dict) -> None:
         """Re-execute one redo record against the backend (recovery only)."""
-        op = record.get("op")
-        try:
-            if op == "sql":
-                statement, _ = parse_prepared(record["sql"])
-                parameters = decode_row(record.get("params", []))
-                with bound_parameters(parameters):
-                    self.backend.execute_statement(statement)
-                self._observe_statement(statement, record)
-            elif op == "ast":
-                statement = pickle_from_text(record["data"])
-                self.backend.execute_statement(statement)
-                self._observe_statement(statement, record)
-            elif op == "create_table":
-                self.backend.create_table(
-                    record["name"], decode_columns(record["columns"]),
-                    [decode_row(row) for row in record["rows"]],
-                    record.get("primary_key"))
-            elif op == "register_relation":
-                columns = decode_columns(record["columns"])
-                relation = Relation(
-                    Schema(columns),
-                    [decode_row(row) for row in record["rows"]],
-                    name=record["name"])
-                self.backend.register_relation(relation, record["name"])
-            elif op == "insert":
-                self.backend.insert(
-                    record["table"],
-                    [decode_row(row) for row in record["rows"]])
-            else:
-                raise RecoveryError(f"unknown WAL record op {op!r}")
-        except RecoveryError:
-            raise
-        except Exception as error:
-            raise RecoveryError(
-                f"replaying record g={record.get('g')} op={op!r} failed: "
-                f"{error}") from error
+        statement = apply_record(self.backend, record)
+        if statement is not None:
+            self._observe_statement(statement, record)
 
     # -- observability and lifecycle ----------------------------------------------------------
 
@@ -435,3 +453,22 @@ class DurableStore:
             self.wal.close()
         if self.state == "open":
             self.state = "closed"
+
+    def disinherit(self) -> None:
+        """Release the store in a forked reader worker, touching no disk.
+
+        After a pre-fork worker pool forks, exactly one process — the
+        writer — may own the WAL handle and take snapshots; a reader worker
+        that flushed, fsync'd or rotated the inherited handle would corrupt
+        the log it shares with the writer.  The worker therefore *disowns*
+        the handle (closing its duplicated descriptor without flushing;
+        safe because forks happen under the write lock with the WAL buffer
+        empty) and moves to ``closed``, so ``check_writable`` refuses any
+        stray local write.  SQLite snapshot connections need no handling:
+        they are opened per ``write_snapshot``/``load_snapshot`` call and
+        never live across a fork.
+        """
+        if self.wal is not None:
+            self.wal.disown()
+            self.wal = None
+        self.state = "closed"

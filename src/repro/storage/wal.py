@@ -35,11 +35,32 @@ from dataclasses import dataclass, field
 from ..errors import StorageError
 from .faultinject import FaultInjector, InjectedCrashError
 
-__all__ = ["WAL_MAGIC", "WriteAheadLog", "ScanResult", "wal_file_name"]
+__all__ = ["FRAME_PREFIX", "WAL_MAGIC", "WriteAheadLog", "ScanResult",
+           "frame_payload", "parse_framed_payload", "wal_file_name"]
 
 WAL_MAGIC = b"WSDWAL1\n"
 _HEADER = struct.Struct(">8sQ")
 _PREFIX = struct.Struct(">II")
+
+#: The record framing (payload length + CRC-32, both big-endian u32).  The
+#: multi-process serving layer reuses this exact framing for its
+#: writer->worker replication stream, so a replicated record is bit-for-bit
+#: a WAL record.
+FRAME_PREFIX = _PREFIX
+
+
+def frame_payload(payload: dict) -> bytes:
+    """Frame one JSON payload exactly as a WAL record (length + CRC + JSON)."""
+    data = json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    return _PREFIX.pack(len(data), zlib.crc32(data)) + data
+
+
+def parse_framed_payload(data: bytes, crc: int) -> dict:
+    """Decode one framed payload body, verifying its CRC-32."""
+    if zlib.crc32(data) != crc:
+        raise StorageError("framed payload failed its CRC-32 check")
+    return json.loads(data.decode("utf-8"))
 
 #: Refuse absurd record lengths instead of allocating gigabytes on a
 #: corrupt length prefix (a torn prefix can decode to anything).
@@ -132,9 +153,7 @@ class WriteAheadLog:
         payload = dict(payload)
         payload["g"] = generation
         self.injector.fire("commit.pre-append")
-        data = json.dumps(payload, separators=(",", ":"),
-                          sort_keys=True).encode("utf-8")
-        record = _PREFIX.pack(len(data), zlib.crc32(data)) + data
+        record = frame_payload(payload)
         if self.injector.take("commit.mid-record"):
             # A torn write: a strict prefix of the record reaches the disk.
             torn = record[:max(1, len(record) // 2)]
@@ -232,6 +251,19 @@ class WriteAheadLog:
             finally:
                 self._file.close()
                 self._file = None
+
+    def disown(self) -> None:
+        """Drop the inherited handle without flushing or fsyncing.
+
+        For forked reader workers: :meth:`append` always flushes before
+        returning and forks happen under the session write lock, so the
+        buffer is empty — closing writes nothing and, because a fork
+        duplicates the descriptor, does not disturb the parent's handle or
+        the shared file offset.
+        """
+        if self._file is not None:
+            self._file.close()
+            self._file = None
 
 
 def _fsync_directory(directory: str) -> None:

@@ -17,11 +17,23 @@ Two layers of coverage:
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro import MayBMS
+from repro.errors import WriteTimeoutError
 from repro.serving import GenerationRWLock
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    """Poll *predicate* until it holds or *timeout* elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
 
 SETUP = """
 create table R (A varchar, B integer, C varchar, D integer);
@@ -135,6 +147,125 @@ class TestGenerationRWLock:
         for thread in (r1, w, r2):
             thread.join(timeout=5)
         assert order.index("writer") < order.index("reader2")
+
+    def test_timed_out_writer_passes_its_wakeup_on(self):
+        """The timeout exit path re-notifies the next queued writer.
+
+        ``release_read``/``release_write`` mint exactly **one**
+        ``_writer_ok.notify()`` per release, and the condition variable may
+        deliver it to a waiter whose timed wait has already expired.  That
+        waiter raises :class:`WriteTimeoutError` — and must hand the wakeup
+        it consumed to the next queued writer, or that writer sleeps through
+        the only notification it was ever going to get (the lost wakeup).
+        The regression is pinned deterministically by counting ``notify``
+        calls on the writers' condition: the timed-out writer's exit must
+        itself produce one, *before* any release does.
+        """
+        lock = GenerationRWLock()
+        notifies: list[int] = []
+        inner_notify = lock._writer_ok.notify
+        lock._writer_ok.notify = \
+            lambda n=1: (notifies.append(n), inner_notify(n))[-1]
+
+        lock.acquire_write()  # held throughout: both queued writers block
+        patient_acquired = threading.Event()
+        errors: list[Exception] = []
+
+        def patient():
+            try:
+                lock.acquire_write()
+                patient_acquired.set()
+                lock.release_write(bump=False)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        patient_thread = threading.Thread(target=patient, daemon=True)
+        patient_thread.start()
+        assert _wait_until(lambda: lock._writers_waiting == 1)
+
+        doomed_raised: list[Exception] = []
+
+        def doomed():
+            try:
+                lock.acquire_write(timeout=0.05)
+            except WriteTimeoutError as error:
+                doomed_raised.append(error)
+            else:  # pragma: no cover - the held lock guarantees the raise
+                lock.release_write(bump=False)
+
+        doomed_thread = threading.Thread(target=doomed, daemon=True)
+        doomed_thread.start()
+        doomed_thread.join(timeout=5)
+        assert not doomed_thread.is_alive()
+        assert doomed_raised, "the doomed writer must time out"
+        # The regression assertion: no release has happened yet, so the one
+        # recorded notify can only have come from the timed-out writer
+        # passing its wakeup on to the still-queued patient writer.
+        assert notifies == [1], \
+            "a timed-out writer must re-notify the next queued writer"
+        assert not patient_acquired.is_set()
+        lock.release_write(bump=False)
+        assert patient_acquired.wait(timeout=5)
+        patient_thread.join(timeout=5)
+        assert not errors
+
+    def test_patient_writer_survives_timed_writer_churn(self):
+        """A patient writer queued behind churning timed writers still runs.
+
+        Timed writers that give up after 2ms hammer the lock alongside
+        readers; a patient ``timeout=None`` writer queued in the middle of
+        the churn must acquire once the churn stops — every wakeup token is
+        accounted for, none die with a timed-out waiter.
+        """
+        lock = GenerationRWLock()
+        stop_churn = threading.Event()
+        acquired = threading.Event()
+        errors: list[Exception] = []
+
+        def churn():
+            try:
+                while not stop_churn.is_set():
+                    try:
+                        lock.acquire_write(timeout=0.002)
+                    except WriteTimeoutError:
+                        continue
+                    lock.release_write(bump=False)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        def reading():
+            try:
+                while not stop_churn.is_set():
+                    with lock.read():
+                        time.sleep(0.001)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        def patient():
+            try:
+                lock.acquire_write()
+                acquired.set()
+                lock.release_write(bump=False)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        workers = [threading.Thread(target=churn, daemon=True)
+                   for _ in range(3)]
+        workers += [threading.Thread(target=reading, daemon=True)
+                    for _ in range(2)]
+        for thread in workers:
+            thread.start()
+        time.sleep(0.05)  # churn is in full swing before the patient queues
+        patient_thread = threading.Thread(target=patient, daemon=True)
+        patient_thread.start()
+        time.sleep(0.4)  # let the churn hammer the queued patient writer
+        stop_churn.set()
+        for thread in workers:
+            thread.join(timeout=5)
+        assert acquired.wait(timeout=5), \
+            "the patient writer lost its wakeup and never acquired"
+        patient_thread.join(timeout=5)
+        assert not errors
 
     def test_generation_bumps_once_per_write(self):
         lock = GenerationRWLock()

@@ -359,6 +359,68 @@ class TestServer:
             payload = json.load(excinfo.value)
             assert "error" in payload
 
+    def test_client_disconnect_mid_response_is_not_an_error(self, server,
+                                                            capfd):
+        """A client that vanishes before reading its answer must not crash
+        the handler thread (regression: ``BrokenPipeError`` /
+        ``ConnectionResetError`` tracebacks from ``_respond``) and must
+        leave the server fully healthy for the next connection."""
+        import socket
+        import struct
+        import time
+
+        host, port = server.address
+        body = json.dumps({"sql": "select conf from I;",
+                           "params": []}).encode()
+        request = (b"POST /query HTTP/1.1\r\n"
+                   b"Host: test\r\n"
+                   b"Content-Type: application/json\r\n" +
+                   f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        for _ in range(3):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(request)
+                # RST on close: the handler's response write hits a dead
+                # peer instead of a graceful FIN.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+        time.sleep(0.2)  # let the handler threads hit the broken pipes
+        status, payload = self._post(server, "select conf from I;")
+        assert status == 200
+        assert payload["kind"] == "rows"
+        assert "Traceback" not in capfd.readouterr().err
+
+    def test_non_finite_floats_are_strict_json(self):
+        """NaN/Infinity answers render as JSON *strings*, never as the bare
+        ``NaN``/``Infinity`` literals that break strict JSON parsers."""
+        db = build_session()
+        db.create_table(
+            "F", ["N", "P", "M"],
+            [(float("nan"), float("inf"), float("-inf")), (1.5, 2.5, 3.5)])
+        server = MayBMSServer(db, port=0)
+        thread = threading.Thread(target=server.httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            request = urllib.request.Request(
+                f"http://{host}:{port}/query",
+                data=json.dumps(
+                    {"sql": "select possible sum(N), sum(P), sum(M) from F;",
+                     "params": []}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request) as response:
+                raw = response.read()
+
+            def reject(token):
+                raise AssertionError(
+                    f"bare non-finite JSON literal {token!r} in response")
+
+            payload = json.loads(raw, parse_constant=reject)
+            assert payload["kind"] == "rows"
+            assert payload["rows"] == [["NaN", "Infinity", "-Infinity"]]
+        finally:
+            server.shutdown()
+
     def test_concurrent_requests_agree(self, server):
         results = []
         errors = []

@@ -1,0 +1,384 @@
+"""Multi-process scale-out serving: the pre-fork worker pool.
+
+Covers the whole scale-out protocol end to end, in-process where it can be
+deterministic and against real forked pools where it cannot:
+
+* the WAL frame codec reused as the replication wire format;
+* the generation-keyed :class:`ResultCache` (LRU bounds, hit/miss counters,
+  and — differentially, against an uncached server — the guarantee that a
+  cached answer is never served across a generation bump);
+* :meth:`MayBMS.apply_replicated` refusing replication-stream gaps;
+* pool integration: reads served by forked workers, writes routed to the
+  single writer, commits replicated in generation order, every concurrent
+  answer equal to a serial replay of the committed write order;
+* fork safety of durability: the writer alone owns the WAL — a pool over a
+  durable session recovers to exactly the serially-replayed state;
+* worker death: a SIGKILLed worker is respawned from the writer's current
+  state and serves the latest generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import AnalysisError
+from repro.serving import MayBMSServer, ResultCache, WorkerPool
+from repro.serving.workers import recv_frame, send_frame
+from repro.storage.wal import frame_payload, parse_framed_payload
+
+SETUP = """
+create table R (A varchar, B integer, C varchar, D integer);
+insert into R values ('a1', 10, 'c1', 2);
+insert into R values ('a1', 15, 'c2', 6);
+insert into R values ('a2', 25, 'c3', 4);
+insert into R values ('a2', 20, 'c4', 5);
+create table I as select A, B, C from R repair by key A weight D;
+create table T (X integer);
+insert into T values (12);
+"""
+
+READ_SQL = "select conf from I, T where B > X;"
+WRITE_SQL = "insert into T values (?);"
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="the worker pool requires os.fork")
+
+
+def _build_session(**kwargs) -> MayBMS:
+    db = MayBMS(backend="wsd", **kwargs)
+    db.execute_script(SETUP)
+    return db
+
+
+def _post(address, sql, params=()):
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/query",
+        data=json.dumps({"sql": sql, "params": list(params)}).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _get(address, path):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=30) as response:
+        return json.load(response)
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+def _wait_replicated(address, generation, probes: int = 8) -> None:
+    """Wait until *probes* consecutive requests all see *generation*.
+
+    ``/health`` lands on whichever worker accepts, so one observation only
+    proves one worker caught up; a run of them makes it overwhelmingly
+    likely every worker did.  Correctness never depends on this — answers
+    are checked against the generation they report — it just makes
+    read-your-writes assertions deterministic.
+    """
+    streak = 0
+
+    def caught_up():
+        nonlocal streak
+        if _get(address, "/health")["generation"] >= generation:
+            streak += 1
+        else:
+            streak = 0
+        return streak >= probes
+
+    assert _wait_until(caught_up, timeout=15), \
+        f"workers never converged on generation {generation}"
+
+
+# -- the replication wire format ---------------------------------------------------------------
+
+
+class TestFrameCodec:
+    def test_roundtrip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            payloads = [{"op": "sql", "sql": WRITE_SQL, "params": [1]},
+                        {"g": 7, "nested": {"rows": [[1.5, None, "x"]]}}]
+            for payload in payloads:
+                send_frame(left, payload)
+            assert [recv_frame(right) for _ in payloads] == payloads
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_corruption_is_detected(self):
+        frame = bytearray(frame_payload({"op": "sql"}))
+        frame[-1] ^= 0xFF
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            parse_framed_payload(bytes(frame[8:]),
+                                 int.from_bytes(frame[4:8], "big"))
+
+
+# -- the generation-keyed result cache ---------------------------------------------------------
+
+
+class TestResultCache:
+    def test_generation_is_part_of_the_key(self):
+        cache = ResultCache(capacity=4)
+        old = ResultCache.key("select 1;", ("a",), 1)
+        new = ResultCache.key("select 1;", ("a",), 2)
+        assert old != new
+        cache.put(old, {"rows": [["stale"]]})
+        assert cache.get(new) is None
+        assert cache.get(old) == {"rows": [["stale"]]}
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ResultCache(capacity=2)
+        keys = [ResultCache.key(f"select {i};", (), 1) for i in range(3)]
+        for key in keys:
+            cache.put(key, {"i": key})
+        assert len(cache) == 2
+        assert cache.get(keys[0]) is None  # the oldest entry was evicted
+        assert cache.get(keys[2]) is not None
+
+    def test_unhashable_parameters_are_uncacheable(self):
+        assert ResultCache.key("select 1;", ([1, 2],), 1) is None
+
+    def test_snapshot_counts_hits_and_misses(self):
+        cache = ResultCache(capacity=4)
+        key = ResultCache.key("select 1;", (), 1)
+        cache.get(key)
+        cache.put(key, {"ok": True})
+        cache.get(key)
+        snapshot = cache.snapshot()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["size"] == 1
+        assert snapshot["capacity"] == 4
+
+    def test_cached_answers_never_cross_a_generation_bump(self):
+        """Differential: a caching server and an uncached one must agree
+        before and after DML — a result served across the bump would leave
+        the cached server answering with the pre-write state."""
+        import threading
+
+        servers = {}
+        for label, size in (("cached", 64), ("uncached", 0)):
+            server = MayBMSServer(_build_session(), port=0,
+                                  result_cache_size=size)
+            threading.Thread(target=server.httpd.serve_forever,
+                             daemon=True).start()
+            servers[label] = server
+        try:
+            for _ in range(2):  # warm the cache, then hit it
+                answers = {label: _post(server.address, READ_SQL)[1]["rows"]
+                           for label, server in servers.items()}
+                assert answers["cached"] == answers["uncached"]
+            for server in servers.values():
+                status, _ = _post(server.address, WRITE_SQL, (14,))
+                assert status == 200
+            answers = {}
+            for label, server in servers.items():
+                payload = _post(server.address, READ_SQL)[1]
+                answers[label] = payload["rows"]
+            assert answers["cached"] == answers["uncached"]
+            stats = _get(servers["cached"].address, "/stats")
+            assert stats["result_cache"]["hits"] >= 1
+        finally:
+            for server in servers.values():
+                server.shutdown()
+
+
+# -- replication replay ------------------------------------------------------------------------
+
+
+class TestApplyReplicated:
+    def test_replays_in_generation_order(self):
+        from repro.storage.store import sql_record
+
+        leader = _build_session()
+        follower = _build_session()
+        for value in (13, 14):
+            _, generation = \
+                leader.prepare(WRITE_SQL).execute_with_generation((value,))
+            record = sql_record(WRITE_SQL, (value,))
+            record["g"] = generation
+            follower.apply_replicated(record)
+        assert follower.state_generation == leader.state_generation
+        assert (follower.execute(READ_SQL).rows()
+                == pytest.approx(leader.execute(READ_SQL).rows()))
+
+    def test_generation_gaps_are_refused(self):
+        from repro.storage.store import sql_record
+
+        follower = _build_session()
+        record = sql_record(WRITE_SQL, (13,))
+        record["g"] = follower.state_generation + 2  # one commit missing
+        with pytest.raises(AnalysisError):
+            follower.apply_replicated(record)
+
+
+# -- the forked pool ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_rejects_zero_workers(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            WorkerPool(_build_session(), workers=0)
+
+    def test_reads_writes_and_replication(self):
+        session = _build_session()
+        with WorkerPool(session, workers=2, port=0) as pool:
+            payload = _get(pool.address, "/health")
+            assert payload["ok"] is True
+            assert payload["scale_out"]["role"] == "reader"
+            assert payload["scale_out"]["workers"] == 2
+            status, read = _post(pool.address, READ_SQL)
+            assert status == 200
+            assert read["rows"][0][0] == pytest.approx(1.0)
+            before = session.state_generation
+            status, write = _post(pool.address, WRITE_SQL, (14,))
+            assert status == 200
+            assert write["generation"] == before + 1
+            # The writer (parent session) committed it...
+            assert session.state_generation == before + 1
+            # ...and every worker replays it.
+            _wait_replicated(pool.address, before + 1)
+            status, after = _post(pool.address, READ_SQL)
+            assert status == 200
+            assert after["generation"] >= before + 1
+            stats = _get(pool.address, "/stats")
+            assert stats["scale_out"]["role"] == "reader"
+        # Shutdown reaps every worker.
+        assert pool.worker_pids() == []
+
+    def test_concurrent_answers_match_serial_replay(self):
+        """Mixed reads and HTTP-routed writes: every answer must equal the
+        serial replay of the committed write order at the generation the
+        answer reports (the linearizability check from the single-process
+        suite, across processes)."""
+        import threading
+
+        session = _build_session()
+        base = session.state_generation
+        observations = []
+        commits = []
+        errors = []
+        observed = threading.Lock()
+
+        with WorkerPool(session, workers=2, port=0) as pool:
+            def reader(steps: int) -> None:
+                try:
+                    for _ in range(steps):
+                        status, payload = _post(pool.address, READ_SQL)
+                        assert status == 200, payload
+                        with observed:
+                            observations.append((payload["generation"],
+                                                 payload["rows"]))
+                except Exception as error:  # pragma: no cover - diagnostics
+                    errors.append(error)
+
+            def writer(seed: int) -> None:
+                try:
+                    for step in range(4):
+                        value = 13 + (seed * 4 + step) % 9
+                        status, payload = _post(pool.address, WRITE_SQL,
+                                                (value,))
+                        assert status == 200, payload
+                        with observed:
+                            commits.append((payload["generation"], value))
+                except Exception as error:  # pragma: no cover - diagnostics
+                    errors.append(error)
+
+            threads = [threading.Thread(target=reader, args=(8,))
+                       for _ in range(4)]
+            threads += [threading.Thread(target=writer, args=(seed,))
+                        for seed in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+        assert not errors, errors
+        # Writes serialised: dense, unique generations.
+        generations = sorted(generation for generation, _ in commits)
+        assert generations == list(range(base + 1, base + 1 + len(commits)))
+        # Serial replay of the committed order.
+        replay = _build_session()
+        expected = {base: replay.execute(READ_SQL).rows()}
+        for generation, value in sorted(commits):
+            replay.execute(WRITE_SQL, (value,))
+            expected[generation] = replay.execute(READ_SQL).rows()
+        for generation, rows in observations:
+            serial = expected[generation]
+            assert len(rows) == len(serial), generation
+            for actual, wanted in zip(rows, serial):
+                assert actual == pytest.approx(wanted, abs=1e-9), generation
+
+    def test_wal_is_owned_by_the_writer_alone(self, tmp_path):
+        """Fork safety of durability: HTTP writes through a pool land in
+        the WAL exactly once, and recovery equals a serial replay."""
+        session = _build_session(data_dir=str(tmp_path))
+        with WorkerPool(session, workers=2, port=0) as pool:
+            for value in (13, 17):
+                status, _ = _post(pool.address, WRITE_SQL, (value,))
+                assert status == 200
+            # Workers must not re-log replicated commits: they disowned
+            # the store at fork time.
+            health = _get(pool.address, "/health")
+            assert health["scale_out"]["role"] == "reader"
+            assert health["durability"] == {"enabled": False}
+        session.close()
+        recovered = MayBMS(backend="wsd", data_dir=str(tmp_path))
+        replay = _build_session()
+        for value in (13, 17):
+            replay.execute(WRITE_SQL, (value,))
+        assert (recovered.execute(READ_SQL).rows()
+                == pytest.approx(replay.execute(READ_SQL).rows()))
+        recovered.close()
+
+    def test_dead_worker_is_respawned_with_current_state(self):
+        session = _build_session()
+        with WorkerPool(session, workers=2, port=0) as pool:
+            status, payload = _post(pool.address, WRITE_SQL, (14,))
+            assert status == 200
+            generation = payload["generation"]
+            victims = pool.worker_pids()
+            os.kill(victims[0], signal.SIGKILL)
+            assert _wait_until(lambda: pool.respawned >= 1)
+            assert _wait_until(lambda: len(pool.worker_pids()) == 2)
+            replacements = pool.worker_pids()
+            assert victims[0] not in replacements
+            # The respawned worker forked from the writer's current state,
+            # so the whole pool converges on the committed generation.
+            _wait_replicated(pool.address, generation)
+            status, read = _post(pool.address, READ_SQL)
+            assert status == 200
+            assert read["generation"] >= generation
