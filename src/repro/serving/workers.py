@@ -57,7 +57,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
-from ..errors import ReproError
+from ..errors import ReproError, StorageError
 from ..storage.codec import decode_row, encode_row
 from ..storage.wal import FRAME_PREFIX, frame_payload, parse_framed_payload
 from .prepared import ResultCache
@@ -111,6 +111,7 @@ class _WriterClient:
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._mutex = threading.Lock()
+        self._dead = False
 
     def execute(self, sql: str, params: list,
                 options: dict | None) -> tuple[int, dict, dict]:
@@ -119,12 +120,25 @@ class _WriterClient:
         if options:
             request["options"] = options
         with self._mutex:
-            try:
-                send_frame(self._sock, request)
-                reply = recv_frame(self._sock)
-            except OSError:
-                reply = None
-        if reply is None:  # pragma: no cover - writer death is fatal anyway
+            reply = None
+            if not self._dead:
+                try:
+                    send_frame(self._sock, request)
+                    reply = recv_frame(self._sock)
+                except (OSError, StorageError):
+                    reply = None
+                if reply is None:
+                    # A partial send, connection loss or CRC failure can
+                    # leave the shared stream mid-frame; reusing it would
+                    # misframe every later request on this worker.  Poison
+                    # the connection: every subsequent call gets a clean
+                    # 503 instead of a desynchronized stream.
+                    self._dead = True
+                    try:
+                        self._sock.close()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
+        if reply is None:
             return 503, {"error": "the writer process is unavailable",
                          "type": "WriterUnavailable"}, {}
         return reply["status"], reply["payload"], reply.get("headers", {})
@@ -164,7 +178,8 @@ class WorkerPool:
     def __init__(self, session: "MayBMS", workers: int = 2,
                  host: str = "127.0.0.1", port: int = 0,
                  verbose: bool = False, max_body_bytes: int = 1_000_000,
-                 result_cache_size: int = 256, backlog: int = 128) -> None:
+                 result_cache_size: int = 256, backlog: int = 128,
+                 replication_send_timeout: float = 5.0) -> None:
         if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
             raise ReproError(
                 "multi-process serving requires os.fork (POSIX); "
@@ -180,6 +195,10 @@ class WorkerPool:
         #: Per-worker result-cache capacity (0 disables).
         self.result_cache_size = result_cache_size
         self.backlog = backlog
+        #: How long a replication send may block before the worker is
+        #: declared wedged and killed (one sick reader must never stall
+        #: the commit path for the whole pool).
+        self.replication_send_timeout = replication_send_timeout
         #: How many workers died and were respawned (observability).
         self.respawned = 0
         self.address: tuple[str, int] | None = None
@@ -230,8 +249,13 @@ class WorkerPool:
     def shutdown(self, timeout: float = 5.0) -> None:
         """Terminate every worker, reap it, and release the listener."""
         self._shutting_down.set()
-        workers = list(self._workers.values())
-        self._workers.clear()
+        # Snapshot under the replication mutex so a concurrent _spawn (the
+        # monitor respawning a dead worker) either registered its worker —
+        # in which case it is in the snapshot and gets SIGTERMed — or sees
+        # the shutdown flag and never forks.
+        with self._replication_mutex:
+            workers = list(self._workers.values())
+            self._workers.clear()
         for worker in workers:
             try:
                 os.kill(worker.pid, signal.SIGTERM)
@@ -284,6 +308,13 @@ class WorkerPool:
         cmd_parent, cmd_child = socket.socketpair()
         repl_parent, repl_child = socket.socketpair()
         with self._replication_mutex:
+            if self._shutting_down.is_set():
+                # shutdown() has (or is about to have) snapshotted and
+                # cleared the pool under this mutex; a worker forked now
+                # would never be SIGTERMed or reaped.
+                for sock in (cmd_parent, cmd_child, repl_parent, repl_child):
+                    sock.close()
+                return
             self.session.lock.acquire_write()
             try:
                 pid = os.fork()
@@ -299,10 +330,14 @@ class WorkerPool:
                 self._worker_main(index, cmd_child, repl_child)
                 os._exit(0)  # unreachable; _worker_main never returns
             self.session.lock.release_write(bump=False)
+            # Register while still holding the mutex: a commit broadcast
+            # between the fork and registration would skip this worker,
+            # leaving a permanent generation gap in its stream.
+            repl_parent.settimeout(self.replication_send_timeout)
+            worker = _Worker(index, pid, cmd_parent, repl_parent)
+            self._workers[index] = worker
         cmd_child.close()
         repl_child.close()
-        worker = _Worker(index, pid, cmd_parent, repl_parent)
-        self._workers[index] = worker
         worker.thread = threading.Thread(
             target=self._writer_loop, args=(worker,),
             name=f"pool-writer-{index}", daemon=True)
@@ -352,16 +387,21 @@ class WorkerPool:
 
     def _replication_loop(self, repl_sock: socket.socket
                           ) -> None:  # pragma: no cover - forked children
-        while True:
-            record = recv_frame(repl_sock)
-            if record is None:
-                # The writer (parent) is gone: a worker must not keep
-                # serving reads that can never see another commit.
-                os._exit(1)
-            # Replays under the local write lock in generation order; a
-            # divergence (generation gap, failed apply) exits the worker —
-            # the monitor respawns a consistent copy from the writer.
-            self.session.apply_replicated(record)
+        try:
+            while True:
+                record = recv_frame(repl_sock)
+                if record is None:
+                    # The writer (parent) is gone: a worker must not keep
+                    # serving reads that can never see another commit.
+                    os._exit(1)
+                # Replays under the local write lock in generation order.
+                self.session.apply_replicated(record)
+        except BaseException:
+            # A divergence (generation gap, failed apply, corrupt frame)
+            # must exit the whole worker, not just this thread — otherwise
+            # the worker keeps serving ever-staler reads forever.  The
+            # monitor respawns a consistent copy from the writer's state.
+            os._exit(2)
 
     # -- the writer side (parent process) ------------------------------------------------------
 
@@ -388,14 +428,29 @@ class WorkerPool:
                 return
 
     def _broadcast(self, record: dict) -> None:
-        """Replicate one committed record to every live worker."""
+        """Replicate one committed record to every live worker.
+
+        The replication sockets carry a send timeout
+        (:attr:`replication_send_timeout`): a worker whose replication
+        consumer has stalled fills its socketpair buffer, and without the
+        timeout one sick reader would block this send — and with it every
+        subsequent commit across the pool — forever.
+        """
         for worker in list(self._workers.values()):
             try:
                 send_frame(worker.repl_sock, record)
             except OSError:
-                # The worker died mid-broadcast; the monitor will respawn
-                # it from the parent's current (post-commit) state.
-                pass
+                # Dead, or wedged past the send timeout (a timed-out
+                # sendall may also have left the stream mid-frame).  Kill
+                # it rather than stall the commit path; the monitor
+                # respawns it from the parent's current (post-commit)
+                # state.  Deliberately *not* popped from self._workers:
+                # the monitor finds it by pid when it reaps the corpse.
+                worker.close()
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):  # pragma: no cover
+                    pass
 
     # -- worker supervision --------------------------------------------------------------------
 

@@ -214,6 +214,42 @@ class TestResultCache:
                 server.shutdown()
 
 
+# -- the write-forwarding client ---------------------------------------------------------------
+
+
+class TestWriterClient:
+    def test_a_desynchronized_stream_is_poisoned(self):
+        """A framing failure (CRC mismatch, connection loss) can leave the
+        shared command stream mid-frame; the client must stop using it —
+        clean 503s — rather than misframe every later request."""
+        from repro.serving.workers import _WriterClient
+
+        worker_end, writer_end = socket.socketpair()
+        try:
+            client = _WriterClient(worker_end)
+            corrupt = bytearray(frame_payload({"status": 200,
+                                               "payload": {}}))
+            corrupt[-1] ^= 0xFF
+            writer_end.sendall(bytes(corrupt))
+            # A perfectly valid reply queued right behind the corrupt one:
+            # a client that kept reading the stream would serve it as the
+            # answer to an unrelated later request.
+            writer_end.sendall(frame_payload({"status": 200,
+                                              "payload": {"ok": True}}))
+            status, payload, _ = client.execute(WRITE_SQL, [13], None)
+            assert status == 503
+            assert payload["type"] == "WriterUnavailable"
+            status, payload, _ = client.execute(WRITE_SQL, [14], None)
+            assert status == 503
+            assert payload["type"] == "WriterUnavailable"
+        finally:
+            for sock in (worker_end, writer_end):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
 # -- replication replay ------------------------------------------------------------------------
 
 
@@ -363,6 +399,65 @@ class TestWorkerPool:
         assert (recovered.execute(READ_SQL).rows()
                 == pytest.approx(replay.execute(READ_SQL).rows()))
         recovered.close()
+
+    def test_divergent_replica_exits_and_is_respawned(self):
+        """A worker whose replication stream has a generation gap must not
+        keep serving ever-staler reads: the apply failure exits the whole
+        worker and the monitor respawns a consistent copy."""
+        from repro.storage.store import sql_record
+
+        session = _build_session()
+        with WorkerPool(session, workers=1, port=0) as pool:
+            worker = next(iter(pool._workers.values()))
+            victim = worker.pid
+            record = sql_record(WRITE_SQL, (13,))
+            record["g"] = session.state_generation + 5  # a lost record
+            send_frame(worker.repl_sock, record)
+            assert _wait_until(lambda: pool.respawned >= 1), \
+                "the divergent worker was never respawned"
+            assert _wait_until(
+                lambda: pool.worker_pids() not in ([], [victim]))
+            # The replacement forked from the writer's authoritative state.
+            status, read = _post(pool.address, READ_SQL)
+            assert status == 200
+            assert read["generation"] == session.state_generation
+
+    def test_a_wedged_worker_never_stalls_commits(self):
+        """One reader whose replication consumer has stalled (SIGSTOP) must
+        not block the commit path for the whole pool: once its replication
+        buffer fills, the send times out, the writer kills it, and the
+        monitor respawns it — while commits keep flowing."""
+        session = _build_session()
+        pool = WorkerPool(session, workers=2, port=0,
+                          replication_send_timeout=0.5)
+        victim = None
+        try:
+            with pool:
+                worker = next(iter(pool._workers.values()))
+                victim = worker.pid
+                # Shrink the replication buffer so the stalled consumer
+                # back-pressures after a handful of records.
+                worker.repl_sock.setsockopt(socket.SOL_SOCKET,
+                                            socket.SO_SNDBUF, 1)
+                os.kill(victim, signal.SIGSTOP)
+                deadline = time.monotonic() + 60
+                while pool.respawned == 0 and time.monotonic() < deadline:
+                    status, _ = _post(pool.address, WRITE_SQL, (13,))
+                    assert status == 200  # commits keep succeeding
+                assert pool.respawned >= 1, \
+                    "the writer never killed the wedged worker"
+                assert _wait_until(lambda: len(pool.worker_pids()) == 2)
+                generation = session.state_generation
+                _wait_replicated(pool.address, generation)
+                status, read = _post(pool.address, READ_SQL)
+                assert status == 200
+                assert read["generation"] >= generation
+        finally:
+            if victim is not None:
+                try:
+                    os.kill(victim, signal.SIGCONT)
+                except (OSError, ProcessLookupError):
+                    pass
 
     def test_dead_worker_is_respawned_with_current_state(self):
         session = _build_session()
