@@ -50,6 +50,11 @@ BENCHES = {
         "latency": ["explicit conf", "WSD conf", "WSD possible"],
         "counters": [],
     },
+    "BENCH_SCALE1_grounding": {
+        "key": ["groups", "options"],
+        "latency": ["columnar ms", "rowwise ms"],
+        "counters": [],
+    },
     "BENCH_SCALE2": {
         "key": ["point"],
         "latency": ["explicit", "joint enumeration", "d-tree"],

@@ -69,6 +69,22 @@ def scalability_sweep_parameters() -> dict:
             "explicit_limit": 5000}
 
 
+def scale1_grounding_parameters() -> dict:
+    """Parameters for the SCALE-1 grounding-heavy columnar sweep.
+
+    ``groups`` are the sweep points (key groups of the dirty relation;
+    ``groups * options`` ground tuples flow through every filter /
+    projection batch); ``options`` sizes the per-group alternatives;
+    ``repetitions`` sizes the per-point timing samples.  The sweep times
+    the same prepared symbolic query with the columnar batch engine on and
+    off (``db.backend.columnar``), so the committed baseline records the
+    row-at-a-time latency the ≥2x win is measured against.
+    """
+    if BENCH_SMOKE:
+        return {"groups": (30, 60), "options": 4, "repetitions": 15}
+    return {"groups": (200, 400, 800), "options": 8, "repetitions": 25}
+
+
 def scale2_specs() -> tuple[DirtyRelationSpec, DirtyRelationSpec]:
     """The (explicit-feasible, enumeration-infeasible) SCALE-2 workloads."""
     if BENCH_SMOKE:

@@ -131,6 +131,45 @@ class TestScale5ColdVsPrepared:
         assert db.statement_cache.hits >= 10
 
 
+class TestScale5SharedPlans:
+    def test_fresh_thread_first_execution_compiles_nothing(self):
+        """Cold-plan latency parity across threads: compiled plans are
+        immutable and process-wide, so a brand-new thread's FIRST prepared
+        execution is a shared-cache hit — zero shape analyses, no
+        per-thread warm-up."""
+        groups = PARAMS["groups"][0]
+        db = _build_session(groups)
+        # An aggregate-shaped statement, so an execution provably consults
+        # the compiled-plan cache (plain conf reads may compile no plan at
+        # all, which would make the zero-compiles assertion vacuous).
+        prepared = db.prepare(
+            "select possible K, sum(P1) from I where P1 > ? group by K;")
+        arguments = (2,)
+        expected = sorted(prepared.execute(arguments).rows(), key=repr)
+
+        snapshot = prepared.plans.snapshot()
+        observed: list = []
+        errors: list[BaseException] = []
+
+        def fresh_thread():
+            try:
+                observed.append(
+                    sorted(prepared.execute(arguments).rows(), key=repr))
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        thread = threading.Thread(target=fresh_thread)
+        thread.start()
+        thread.join(timeout=60)
+        assert not errors, errors
+        after = prepared.plans.snapshot()
+        assert after["compiles"] == snapshot["compiles"], (
+            "a fresh thread's first prepared execution must not compile "
+            "any plan — the process-wide cache already holds it")
+        assert after["hits"] > snapshot["hits"]
+        assert observed == [expected]
+
+
 class TestScale5ReadScaling:
     def test_read_throughput_scales_with_threads(self, benchmark):
         groups = PARAMS["groups"][-1]

@@ -60,6 +60,7 @@ from ..wsd.decomposition import (
     Template,
     WorldSetDecomposition,
 )
+from ..wsd.plan_cache import SharedPlanCache
 from ..wsd.execute import (
     AggregateStats,
     ConfidenceStats,
@@ -132,15 +133,17 @@ class ExecutionBackend:
     degradation: str
 
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None,
+                          prepared_plans: SharedPlanCache | None = None,
                           options: QueryOptions | None = None
                           ) -> StatementResult:
         """Execute one parsed statement.
 
-        *prepared_plans* is the per-thread compiled-plan cache of a
-        :class:`~repro.serving.prepared.PreparedStatement` (query id ->
-        analysed aggregate/grouping plan); backends that compile plans pass
-        it down so repeated executions skip shape analysis.  *options*
+        *prepared_plans* is a :class:`~repro.wsd.plan_cache.SharedPlanCache`
+        — by default the process-wide
+        :data:`~repro.wsd.plan_cache.GLOBAL_PLAN_CACHE`, which every thread
+        and session shares because compiled plans are immutable; backends
+        that compile plans pass it down so repeated executions (from any
+        thread) skip shape analysis.  *options*
         carries per-request overrides (deadline, target ε, degradation
         mode); backends without an approximate tier accept and ignore the
         sampling-related fields.
@@ -270,7 +273,7 @@ class ExplicitBackend(ExecutionBackend):
     # -- statement execution --------------------------------------------------------------------
 
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None,
+                          prepared_plans: SharedPlanCache | None = None,
                           options: QueryOptions | None = None
                           ) -> StatementResult:
         # The explicit backend plans per world from scratch (star expansion
@@ -588,8 +591,17 @@ class WsdBackend(ExecutionBackend):
         self.aggregate_stats = AggregateStats()
         #: Memoised symbolic groundings shared across statements, keyed on
         #: (decomposition generation, relation name); see
-        #: :meth:`repro.wsd.execute.WSDExecutor._ground`.
+        #: :meth:`repro.wsd.execute.WSDExecutor._ground`.  The dict is read
+        #: and written by every serving thread, so executors guard all
+        #: access with :attr:`_ground_lock` — same one-mutex-per-shared-
+        #: structure discipline as :attr:`_stats_lock` and the shared plan
+        #: cache's internal mutex.
         self._ground_cache: dict = {}
+        self._ground_lock = threading.Lock()
+        #: Whether executors evaluate the symbolic hot loops over columnar
+        #: batches (:mod:`repro.wsd.columnar`); benchmarks flip this off to
+        #: measure the row-at-a-time baseline.
+        self.columnar = True
         #: Serialises stats merging: concurrent prepared reads finish in any
         #: order and their counters accumulate under this mutex (the answers
         #: themselves are protected by the session's read/write lock).
@@ -676,7 +688,7 @@ class WsdBackend(ExecutionBackend):
     # -- statement execution --------------------------------------------------------------------
 
     def execute_statement(self, statement: Statement,
-                          prepared_plans: dict | None = None,
+                          prepared_plans: SharedPlanCache | None = None,
                           options: QueryOptions | None = None
                           ) -> StatementResult:
         options = QueryOptions.coerce(options)
@@ -715,7 +727,7 @@ class WsdBackend(ExecutionBackend):
 
     # -- queries -------------------------------------------------------------------------------------
 
-    def _executor(self, plan_cache: dict | None = None,
+    def _executor(self, plan_cache: SharedPlanCache | None = None,
                   options: QueryOptions | None = None) -> WSDExecutor:
         options = QueryOptions.coerce(options)
         return WSDExecutor(self.decomposition, self.views,
@@ -723,6 +735,8 @@ class WsdBackend(ExecutionBackend):
                            aggregates=self.aggregate_engine,
                            world_grouping=self.grouping_engine,
                            ground_cache=self._ground_cache,
+                           ground_lock=self._ground_lock,
+                           columnar=self.columnar,
                            plan_cache=plan_cache,
                            budgets=self.budgets,
                            degradation=options.resolve_degradation(
@@ -736,7 +750,7 @@ class WsdBackend(ExecutionBackend):
             self.aggregate_stats.merge(executor.aggregate_stats)
 
     def _execute_query(self, query: Query,
-                       plan_cache: dict | None = None,
+                       plan_cache: SharedPlanCache | None = None,
                        options: QueryOptions | None = None
                        ) -> StatementResult:
         executor = self._executor(plan_cache, options)
@@ -774,7 +788,7 @@ class WsdBackend(ExecutionBackend):
                                world_set=outcome.world_set)
 
     def _execute_create_table_as(self, statement: CreateTableAs,
-                                 plan_cache: dict | None = None,
+                                 plan_cache: SharedPlanCache | None = None,
                                  options: QueryOptions | None = None
                                  ) -> StatementResult:
         # CREATE TABLE AS replaces an existing relation of the same name,

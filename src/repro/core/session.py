@@ -337,8 +337,11 @@ class MayBMS:
         (see :meth:`~repro.storage.store.DurableStore.disinherit`), drops
         the store so new prepared statements never try to log, and clears
         the statement cache, whose pre-fork entries still point at the
-        disinherited store (its per-thread plans and inherited mutex state
-        would be stale across the fork anyway).
+        disinherited store (their inherited mutex state would be stale
+        across the fork anyway).  The process-wide compiled-plan cache is
+        deliberately kept: plans are immutable pure functions of the AST,
+        so the copy-on-write inherited entries stay valid and the worker's
+        first request reuses them with zero warm-up.
         """
         if self.store is not None:
             self.store.disinherit()

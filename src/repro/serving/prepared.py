@@ -10,21 +10,24 @@
   takes the session's :class:`~repro.serving.locks.GenerationRWLock` in the
   right mode without re-inspecting the AST;
 * on the wsd backend, aggregate / grouping **shape analysis is compiled
-  once** per executing thread and cached on the statement
-  (:attr:`PreparedStatement.plans`) — the compiled
-  :class:`~repro.wsd.aggregate.AggregatePlan` is a pure function of the AST
-  and is therefore valid across decomposition generations, while the
-  symbolic grounding the plan evaluates over stays keyed on the
-  decomposition generation (a DML bump invalidates it, nothing else does).
+  once per process** — the compiled
+  :class:`~repro.wsd.aggregate.AggregatePlan` is immutable (per-execution
+  values travel in :class:`~repro.wsd.aggregate.EvalSlots`, never in the
+  plan) and a pure function of the AST, so one instance is shared by every
+  thread through the process-wide
+  :data:`~repro.wsd.plan_cache.GLOBAL_PLAN_CACHE`
+  (:attr:`PreparedStatement.plans`); it stays valid across decomposition
+  generations, while the symbolic grounding the plan evaluates over stays
+  keyed on the decomposition generation (a DML bump invalidates it,
+  nothing else does).
 
-Executions are thread-safe: parameter bindings are thread-local, the plan
-cache is per-thread (compiled plans carry mutable evaluation slots, so one
-instance must never evaluate in two threads at once), and the session's
-read/write lock serialises writers against everything while letting
-prepared reads run concurrently.  The per-thread scope means a brand-new
-thread pays one shape analysis (~0.1ms) before its plans amortise — for the
-thread-per-connection HTTP server that is one analysis per connection, not
-per request; slot-free shareable plans are a noted ROADMAP follow-up.
+Executions are thread-safe: parameter bindings are thread-local, the shared
+plan cache is mutex-guarded, and the session's read/write lock serialises
+writers against everything while letting prepared reads run concurrently.
+A brand-new thread (or a respawned pre-fork pool worker) therefore serves
+its first request from an already-compiled plan — zero per-thread warm-up,
+asserted by the cache's ``compiles``/``hits`` counters in the serving
+benchmarks.
 
 :class:`StatementCache` is the session-level LRU that makes plain
 ``execute(sql)`` transparently reuse a prepared statement for repeated text.
@@ -45,6 +48,7 @@ from ..sqlparser.ast_nodes import (
     Statement,
 )
 from ..storage.store import sql_record
+from ..wsd.plan_cache import GLOBAL_PLAN_CACHE, SharedPlanCache
 from .locks import GenerationRWLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -88,19 +92,15 @@ class PreparedStatement:
         #: for purely in-memory sessions.
         self._store = store
         self._write_timeout = write_timeout
-        # Compiled aggregate/grouping plans are cached per executing thread:
-        # an AggregatePlan carries mutable value slots filled during
-        # evaluation, so sharing one instance across threads would race.
-        self._plans = threading.local()
+        # Compiled plans are immutable (evaluation state lives in
+        # per-execution EvalSlots), so every statement — and every thread —
+        # shares the one process-wide cache.
+        self._plans = GLOBAL_PLAN_CACHE
 
     @property
-    def plans(self) -> dict:
-        """The calling thread's compiled-plan cache (query id -> plan)."""
-        cache = getattr(self._plans, "cache", None)
-        if cache is None:
-            cache = {}
-            self._plans.cache = cache
-        return cache
+    def plans(self) -> SharedPlanCache:
+        """The process-wide compiled-plan cache all executions share."""
+        return self._plans
 
     def execute(self, parameters: Sequence[Any] = (),
                 options: "QueryOptions | dict | None" = None

@@ -74,6 +74,7 @@ __all__ = [
     "Contribution",
     "DecomposedAggregator",
     "DEFAULT_STATE_BUDGET",
+    "EvalSlots",
     "analyse_aggregate_query",
     "plan_contributions",
 ]
@@ -477,26 +478,70 @@ def _canonical_mapping(states: dict[tuple, tuple]) -> tuple:
 # -- slotted expressions (aggregate / key / subquery substitution) -------------------------
 
 
-_EMPTY_CONTEXT = EvalContext(schema=Schema([]), row=())
+_EMPTY_SCHEMA = Schema([])
 
 _SUBQUERY_NODES = (ScalarSubquery, InSubquery, ExistsSubquery,
                    QuantifiedComparison)
 
 
-class _ValueSlot(Expression):
-    """A placeholder whose value is assigned just before evaluation."""
+@dataclass
+class _SlotContext(EvalContext):
+    """An :class:`EvalContext` carrying the per-execution slot values.
+
+    Slotted expressions have no column references left, so the schema/row
+    halves stay empty; :class:`_ValueSlot` nodes read their value banks off
+    ``slots`` instead of any mutable node state.
+    """
+
+    slots: "EvalSlots | None" = None
+
+
+class EvalSlots:
+    """Per-execution evaluation state for an immutable :class:`AggregatePlan`.
+
+    A compiled plan is a pure function of the query AST and is shared by
+    every thread (see :mod:`repro.wsd.plan_cache`); all state an evaluation
+    needs — the current aggregate values, group-key values and subquery
+    values — lives here, created per execution and never on the plan.  One
+    instance is reused across all rows of one execution.
+    """
+
+    __slots__ = ("agg_values", "key_values", "sub_values", "context")
 
     def __init__(self) -> None:
-        self.value: Any = None
+        self.agg_values: Sequence[Any] = ()
+        self.key_values: Sequence[Any] = ()
+        self.sub_values: Sequence[Any] = ()
+        self.context = _SlotContext(schema=_EMPTY_SCHEMA, row=(), slots=self)
+
+    def row_context(self, schema: Schema) -> EvalContext:
+        """A fresh re-pointable row context for batch/row evaluation."""
+        return EvalContext(schema=schema, row=None)
+
+
+class _ValueSlot(Expression):
+    """A placeholder reading one value bank of the execution's EvalSlots.
+
+    ``bank`` names the :class:`EvalSlots` attribute (``"agg_values"``,
+    ``"key_values"`` or ``"sub_values"``) and ``index`` the position within
+    it.  The node itself is immutable — evaluation never writes to the plan,
+    which is what makes one compiled plan safe to share across threads.
+    """
+
+    __slots__ = ("bank", "index")
+
+    def __init__(self, bank: str, index: int) -> None:
+        self.bank = bank
+        self.index = index
 
     def evaluate(self, context: EvalContext) -> Any:
-        return self.value
+        return getattr(context.slots, self.bank)[self.index]
 
     def children(self) -> Sequence[Expression]:
         return ()
 
     def sql(self) -> str:  # pragma: no cover - debugging aid
-        return "<slot>"
+        return f"<slot {self.bank}[{self.index}]>"
 
 
 def _rewrite(node: Expression,
@@ -539,23 +584,26 @@ def _has_unbound_references(node: Expression) -> bool:
 
 @dataclass
 class _SlottedExpression:
-    """An expression with aggregates / group keys / subqueries slotted out."""
+    """An expression with aggregates / group keys / subqueries slotted out.
+
+    Immutable after construction: evaluation binds the value banks into a
+    per-call (or caller-provided per-execution) :class:`EvalSlots`, never
+    into the expression tree, so one instance may evaluate concurrently in
+    any number of threads.
+    """
 
     expression: Expression
-    agg_slots: list[tuple[_ValueSlot, int]]
-    key_slots: list[tuple[_ValueSlot, int]]
-    sub_slots: list[tuple[_ValueSlot, int]]
 
     def evaluate(self, agg_values: Sequence[Any] = (),
                  key_values: Sequence[Any] = (),
-                 sub_values: Sequence[Any] = ()) -> Any:
-        for slot, index in self.agg_slots:
-            slot.value = agg_values[index]
-        for slot, index in self.key_slots:
-            slot.value = key_values[index]
-        for slot, index in self.sub_slots:
-            slot.value = sub_values[index]
-        return self.expression.evaluate(_EMPTY_CONTEXT)
+                 sub_values: Sequence[Any] = (),
+                 slots: EvalSlots | None = None) -> Any:
+        if slots is None:
+            slots = EvalSlots()
+        slots.agg_values = agg_values
+        slots.key_values = key_values
+        slots.sub_values = sub_values
+        return self.expression.evaluate(slots.context)
 
 
 def _build_slotted(expression: Expression, calls: Sequence[AggregateCall],
@@ -565,35 +613,26 @@ def _build_slotted(expression: Expression, calls: Sequence[AggregateCall],
     """Slot *expression*'s aggregate calls (by identity), group-key subtrees
     (by SQL text) and scalar subqueries (by identity); None when anything
     row- or world-dependent remains."""
-    agg_slots: list[tuple[_ValueSlot, int]] = []
-    key_slots: list[tuple[_ValueSlot, int]] = []
-    sub_slots: list[tuple[_ValueSlot, int]] = []
     key_sql = [key.sql().lower() for key in key_exprs]
 
     def replace(node: Expression) -> Optional[Expression]:
         for index, call in enumerate(calls):
             if node is call:
-                slot = _ValueSlot()
-                agg_slots.append((slot, index))
-                return slot
+                return _ValueSlot("agg_values", index)
         for index, subquery in enumerate(subqueries):
             if node is subquery:
-                slot = _ValueSlot()
-                sub_slots.append((slot, index))
-                return slot
+                return _ValueSlot("sub_values", index)
         if key_sql and not contains_aggregate(node) \
                 and not isinstance(node, _SUBQUERY_NODES):
             rendered = node.sql().lower()
             if rendered in key_sql:
-                slot = _ValueSlot()
-                key_slots.append((slot, key_sql.index(rendered)))
-                return slot
+                return _ValueSlot("key_values", key_sql.index(rendered))
         return None
 
     rebuilt = _rewrite(expression, replace)
     if _has_unbound_references(rebuilt):
         return None
-    return _SlottedExpression(rebuilt, agg_slots, key_slots, sub_slots)
+    return _SlottedExpression(rebuilt)
 
 
 # -- query shape analysis ------------------------------------------------------------------
@@ -650,63 +689,74 @@ class AggregatePlan:
         return [spec.finalize(inner)
                 for spec, inner in zip(self.specs, state[1:])]
 
-    def output_row(self, key: tuple, state: tuple) -> tuple:
+    def output_row(self, key: tuple, state: tuple,
+                   slots: EvalSlots | None = None) -> tuple:
         values = self.finalized_values(state)
         row = []
         for output in self.outputs:
             if output.key_index is not None:
                 row.append(key[output.key_index])
             else:
-                row.append(output.slotted.evaluate(values, key))
+                row.append(output.slotted.evaluate(values, key, slots=slots))
         return tuple(row)
 
-    def state_included(self, key: tuple, state: tuple) -> bool:
+    def state_included(self, key: tuple, state: tuple,
+                       slots: EvalSlots | None = None) -> bool:
         """Does this state put a row for *key* into the per-world answer?"""
         if self.key_exprs and not state[0]:
             return False
         if self.having is not None:
             values = self.finalized_values(state)
-            if self.having.evaluate(values, key) is not True:
+            if self.having.evaluate(values, key, slots=slots) is not True:
                 return False
         return True
 
-    def answer_rows(self, states: dict[tuple, tuple]) -> list[tuple]:
+    def answer_rows(self, states: dict[tuple, tuple],
+                    slots: EvalSlots | None = None) -> list[tuple]:
         """The per-world answer rows of one key -> state mapping.
 
         Shared by the plain aggregate distribution and the world-grouping
         engine's aggregate decoding, so both construct identical answers —
         including the keyless case, where an absent state means no
-        contribution existed and the identity state applies.
+        contribution existed and the identity state applies.  *slots* is the
+        execution's :class:`EvalSlots`; one is created when absent, so the
+        (shared, immutable) plan never holds evaluation state itself.
         """
+        if slots is None:
+            slots = EvalSlots()
         rows: list[tuple] = []
         if not self.key_exprs:
             state = states.get(())
             if state is None:
                 state = tuple(spec.identity
                               for spec in [_ExistsSpec()] + self.specs)
-            if self.state_included((), state):
-                rows.append(self.output_row((), state))
+            if self.state_included((), state, slots):
+                rows.append(self.output_row((), state, slots))
             return rows
         for key, state in states.items():
-            if self.state_included(key, state):
-                rows.append(self.output_row(key, state))
+            if self.state_included(key, state, slots):
+                rows.append(self.output_row(key, state, slots))
         return rows
 
 
 def plan_contributions(plan: "AggregatePlan", joined,
-                       wrap_key: Callable[[tuple], tuple] | None = None
-                       ) -> list[Contribution]:
+                       wrap_key: Callable[[tuple], tuple] | None = None,
+                       slots: EvalSlots | None = None) -> list[Contribution]:
     """One contribution per ground row of *joined* under *plan*.
 
     The delta vector aligns with ``[_ExistsSpec()] + plan.specs`` (slot 0 is
     the exists flag).  Shared by the executor's aggregate tier and the
     world-grouping compiler so both lift arguments identically;
-    ``wrap_key`` lets the grouping engine namespace the group keys.
+    ``wrap_key`` lets the grouping engine namespace the group keys and
+    *slots* carries the per-execution evaluation state (plans are shared and
+    immutable, so the row context lives on the execution, not the plan).
     """
+    if slots is None:
+        slots = EvalSlots()
     contributions: list[Contribution] = []
     # Re-pointed context: key and argument expressions are subquery-free by
     # plan analysis, so nothing retains the context beyond each evaluate.
-    context = EvalContext(schema=joined.schema, row=None)
+    context = slots.row_context(joined.schema)
     for sym in joined.tuples:
         context.row = sym.row
         key = tuple(expr.evaluate(context) for expr in plan.key_exprs)

@@ -55,6 +55,7 @@ After ``assert`` conditioning the derived decomposition is re-normalised
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
@@ -63,6 +64,7 @@ from ..errors import (
     AnalysisError,
     DecompositionError,
     EnumerationLimitError,
+    ExpressionError,
     UnknownColumnError,
     UnknownRelationError,
     UnsupportedFeatureError,
@@ -97,6 +99,7 @@ from .aggregate import (
     AggregateStats,
     Contribution,
     DecomposedAggregator,
+    EvalSlots,
     analyse_aggregate_query,
     plan_contributions,
     _ExistsSpec,
@@ -128,7 +131,9 @@ from .grouping import (
     GroupingUnsupportedError,
     evaluate_group_worlds,
 )
+from .columnar import compile_predicate, compile_projection
 from .normalize import normalize
+from .plan_cache import GLOBAL_PLAN_CACHE, SharedPlanCache
 from .setops import SetOpBudgetExceededError, evaluate_compound_entries
 
 __all__ = [
@@ -273,6 +278,12 @@ class WsdExecutionStats:
     generation).  ``approximate_answers`` counts statements whose answer
     involved the anytime Monte-Carlo tier (once per executor, i.e. per
     statement) and ``sample_counts`` the total samples those estimates drew.
+    ``columnar_batches`` counts filter / projection / join-key batches the
+    columnar engine (:mod:`repro.wsd.columnar`) evaluated as parallel
+    column arrays; ``rowwise_fallbacks`` counts batches that kept (or were
+    rescued to) the per-:class:`SymTuple` interpreted loop because an
+    expression shape was unsupported or a batch raised — CI asserts the
+    fallback count stays zero on the SCALE-1 smoke sweep.
     """
 
     symbolic: int = 0
@@ -287,6 +298,8 @@ class WsdExecutionStats:
     ground_cache_misses: int = 0
     approximate_answers: int = 0
     sample_counts: int = 0
+    columnar_batches: int = 0
+    rowwise_fallbacks: int = 0
 
     def merge(self, other: "WsdExecutionStats") -> None:
         """Accumulate *other* into this counter set."""
@@ -302,6 +315,8 @@ class WsdExecutionStats:
         self.ground_cache_misses += other.ground_cache_misses
         self.approximate_answers += other.approximate_answers
         self.sample_counts += other.sample_counts
+        self.columnar_batches += other.columnar_batches
+        self.rowwise_fallbacks += other.rowwise_fallbacks
 
 
 @dataclass
@@ -414,10 +429,12 @@ class WSDExecutor:
                  aggregates: str = "convolution",
                  world_grouping: str = "native",
                  ground_cache: dict | None = None,
-                 plan_cache: dict | None = None,
+                 ground_lock: "threading.Lock | None" = None,
+                 plan_cache: SharedPlanCache | None = None,
                  budgets: ResourceBudgets | None = None,
                  degradation: str = "strict",
-                 anytime: AnytimeBudget | None = None) -> None:
+                 anytime: AnytimeBudget | None = None,
+                 columnar: bool = True) -> None:
         if confidence not in ("dtree", "enumerate", "cross-check",
                               "approximate"):
             raise AnalysisError(
@@ -481,40 +498,30 @@ class WSDExecutor:
                                         AnytimeSampler]] = {}
         #: Memoised symbolic groundings keyed on (decomposition generation,
         #: relation name); shareable across executors via the constructor so
-        #: repeated queries over unchanged tables skip re-grounding.
+        #: repeated queries over unchanged tables skip re-grounding.  When a
+        #: backend shares the dict across serving threads it passes the lock
+        #: that guards it; a private cache needs no lock.
         self._ground_cache: dict = (ground_cache if ground_cache is not None
                                     else {})
-        #: Compiled aggregate/grouping shape analyses keyed on the query
-        #: AST's id (a prepared statement passes its per-thread cache in, so
-        #: repeated executions skip :func:`analyse_aggregate_query`).  The
-        #: entry pins the query object, keeping id-keying sound.  Plans are
-        #: pure functions of the AST — no decomposition state — so they stay
-        #: valid across generations.
-        self._plan_cache: dict | None = plan_cache
+        self._ground_lock = (ground_lock if ground_lock is not None
+                             else threading.Lock())
+        #: Compiled aggregate/grouping shape analyses, served from the
+        #: process-wide :data:`~repro.wsd.plan_cache.GLOBAL_PLAN_CACHE`
+        #: unless the caller passes its own cache.  Plans are immutable pure
+        #: functions of the AST — evaluation state travels in per-execution
+        #: :class:`~repro.wsd.aggregate.EvalSlots` — so one compiled plan
+        #: serves every thread and every generation.
+        self._plan_cache: SharedPlanCache = (
+            plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE)
+        #: Whether ``_filter`` / ``_project`` / ``_hash_join`` evaluate
+        #: expressions over columnar batches (:mod:`repro.wsd.columnar`);
+        #: benchmarks flip this off to measure the row-at-a-time baseline.
+        self.columnar = columnar
         self._transient_counter = 0
 
     def aggregate_plan(self, query: SelectQuery) -> Optional[AggregatePlan]:
-        """Shape-analyse *query* (memoised on the prepared-plan cache).
-
-        The cache is capped: some callers analyse *derived* ASTs built per
-        execution (e.g. the ``group worlds by`` main query after
-        :func:`_strip_world_clauses`), whose ids never repeat — without the
-        cap those entries (and the ASTs they pin) would accumulate for the
-        lifetime of the prepared statement.  A statement has only a handful
-        of stable nested queries, so clearing at the cap costs at most one
-        re-analysis each while keeping the cache bounded.
-        """
-        cache = self._plan_cache
-        if cache is None:
-            return analyse_aggregate_query(query)
-        entry = cache.get(id(query))
-        if entry is not None and entry[0] is query:
-            return entry[1]
-        plan = analyse_aggregate_query(query)
-        if len(cache) >= 32:
-            cache.clear()
-        cache[id(query)] = (query, plan)
-        return plan
+        """Shape-analyse *query*, memoised on the shared plan cache."""
+        return self._plan_cache.plan_for(query)
 
     # -- public API ---------------------------------------------------------------------
 
@@ -799,19 +806,15 @@ class WSDExecutor:
         from ..relational.algebra import hash_key
 
         schema = left.schema.concat(right.schema)
+        right_keys = self._batch_keys(right, [expr for _, expr in keys])
+        left_keys = self._batch_keys(left, [expr for expr, _ in keys])
         buckets: dict[tuple, list[SymTuple]] = {}
-        context = EvalContext(schema=right.schema, row=None)
-        for sym in right.tuples:
-            context.row = sym.row
-            key = tuple(expr.evaluate(context) for _, expr in keys)
+        for sym, key in zip(right.tuples, right_keys):
             if any(value is None for value in key):
                 continue
             buckets.setdefault(hash_key(key), []).append(sym)
         tuples: list[SymTuple] = []
-        context = EvalContext(schema=left.schema, row=None)
-        for sym in left.tuples:
-            context.row = sym.row
-            key = tuple(expr.evaluate(context) for expr, _ in keys)
+        for sym, key in zip(left.tuples, left_keys):
             if any(value is None for value in key):
                 continue
             for other in buckets.get(hash_key(key), ()):
@@ -820,6 +823,27 @@ class WSDExecutor:
                     continue
                 tuples.append(SymTuple(sym.row + other.row, condition))
         return SymbolicRelation(schema, tuples)
+
+    def _batch_keys(self, source: SymbolicRelation,
+                    exprs: list[Expression]) -> list[tuple]:
+        """One key tuple per row of *source*, batch-evaluated when possible."""
+        if self.columnar and source.tuples:
+            batch = compile_projection(exprs, source.schema)
+            if batch is not None:
+                try:
+                    rows = batch(source.tuples)
+                except ExpressionError:
+                    pass
+                else:
+                    self.stats.columnar_batches += 1
+                    return rows
+            self.stats.rowwise_fallbacks += 1
+        context = EvalContext(schema=source.schema, row=None)
+        rows = []
+        for sym in source.tuples:
+            context.row = sym.row
+            rows.append(tuple(expr.evaluate(context) for expr in exprs))
+        return rows
 
     def _resolves_only_in(self, ref, schema: Schema,
                           others: Sequence[Schema]) -> bool:
@@ -906,17 +930,30 @@ class WSDExecutor:
                 self._ground_tuples(working, name, component_of))
         generation = getattr(working, "generation", None)
         key = (generation, name)
-        cached = self._ground_cache.get(key) if generation is not None else None
+        if generation is not None:
+            # The grounding cache is shared across serving threads, so every
+            # read / insert (and the hit / miss accounting tied to them)
+            # happens under its lock — same discipline as the shared plan
+            # cache.  The expansion itself runs outside the lock: a
+            # concurrent duplicate expansion is benign (last write wins on
+            # identical read-only tuples) and keeps lock hold times bounded.
+            with self._ground_lock:
+                cached = self._ground_cache.get(key)
+                if cached is not None:
+                    self.stats.ground_cache_hits += 1
+        else:
+            cached = None
         if cached is None:
-            self.stats.ground_cache_misses += 1
             cached = self._ground_tuples(working, name,
                                          self._component_index(working))
             if generation is not None:
-                if len(self._ground_cache) >= 128:
-                    self._ground_cache.clear()
-                self._ground_cache[key] = cached
-        else:
-            self.stats.ground_cache_hits += 1
+                with self._ground_lock:
+                    self.stats.ground_cache_misses += 1
+                    if len(self._ground_cache) >= 128:
+                        self._ground_cache.clear()
+                    self._ground_cache[key] = cached
+            else:
+                self.stats.ground_cache_misses += 1
         return SymbolicRelation(
             working.template.schemas[name].with_qualifier(alias), cached)
 
@@ -962,9 +999,28 @@ class WSDExecutor:
 
     def _filter(self, source: SymbolicRelation,
                 predicate: Expression) -> SymbolicRelation:
+        # Columnar first: compile the predicate once, evaluate it over the
+        # whole batch as parallel column arrays and keep the rows whose mask
+        # entry is True.  A batch that raises is re-run row-at-a-time so
+        # error semantics match the interpreter exactly (full-batch AND/OR
+        # does not short-circuit, so it can reach operands the interpreted
+        # loop would have skipped).
+        if self.columnar and source.tuples:
+            mask = compile_predicate(predicate, source.schema)
+            if mask is not None:
+                try:
+                    decisions = mask(source.tuples)
+                except ExpressionError:
+                    pass
+                else:
+                    self.stats.columnar_batches += 1
+                    kept = [sym for sym, keep in zip(source.tuples, decisions)
+                            if keep is True]
+                    return SymbolicRelation(source.schema, kept)
+            self.stats.rowwise_fallbacks += 1
         # One context, re-pointed per row: the symbolic tier only ever
         # filters subquery-free predicates, so nothing retains the context
-        # beyond the evaluate call — and this loop is the serving hot path.
+        # beyond the evaluate call.
         context = EvalContext(schema=source.schema, row=None)
         kept = []
         for sym in source.tuples:
@@ -1001,6 +1057,22 @@ class WSDExecutor:
                                         output_name(item, position)))
         outputs = deduplicate_output_names(outputs)
         schema = Schema([Column(output.name) for output in outputs])
+        # Columnar first: evaluate every output expression over the whole
+        # batch (one column pass each), then zip the rows back against the
+        # per-tuple conditions.
+        if self.columnar and source.tuples:
+            batch = compile_projection(
+                [output.expression for output in outputs], source.schema)
+            if batch is not None:
+                try:
+                    rows = batch(source.tuples)
+                except ExpressionError:
+                    pass
+                else:
+                    self.stats.columnar_batches += 1
+                    return schema, [(row, sym.condition) for row, sym
+                                    in zip(rows, source.tuples)]
+            self.stats.rowwise_fallbacks += 1
         projected: list[tuple[tuple, Condition]] = []
         # Re-pointed context: projection expressions on the symbolic tier
         # are subquery-free (see _needs_component_joint), so reuse is safe.
@@ -1371,7 +1443,9 @@ class WSDExecutor:
         engine = DecomposedAggregator(working.components, specs,
                                       budget=self.budgets.aggregate_states,
                                       stats=self.aggregate_stats)
-        contributions = plan_contributions(plan, joined)
+        # Evaluation state lives in this per-execution slots object; the
+        # compiled plan itself is immutable and shared across threads.
+        contributions = plan_contributions(plan, joined, slots=EvalSlots())
         key_order: list[tuple] = []
         seen_keys: set[tuple] = set()
         for contribution in contributions:
@@ -1396,14 +1470,15 @@ class WSDExecutor:
                            key_order: list[tuple]) -> WSDQueryResult:
         """conf / possible / certain read off the per-key distributions."""
         names = plan.output_names()
+        slots = EvalSlots()
         if query.conf:
             confidence: dict[tuple, float] = {}
             order: list[tuple] = []
             for key in key_order:
                 for state, mass in per_key[key].items():
-                    if not plan.state_included(key, state):
+                    if not plan.state_included(key, state, slots=slots):
                         continue
-                    row = plan.output_row(key, state)
+                    row = plan.output_row(key, state, slots=slots)
                     if row not in confidence:
                         confidence[row] = 0.0
                         order.append(row)
@@ -1419,9 +1494,9 @@ class WSDExecutor:
             seen: set[tuple] = set()
             for key in key_order:
                 for state in per_key[key]:
-                    if not plan.state_included(key, state):
+                    if not plan.state_included(key, state, slots=slots):
                         continue
-                    row = plan.output_row(key, state)
+                    row = plan.output_row(key, state, slots=slots)
                     if row not in seen:
                         seen.add(row)
                         rows.append(row)
@@ -1430,10 +1505,10 @@ class WSDExecutor:
             # every world: every state is included and finalises identically.
             for key in key_order:
                 distribution = per_key[key]
-                if not all(plan.state_included(key, state)
+                if not all(plan.state_included(key, state, slots=slots)
                            for state in distribution):
                     continue
-                produced = {plan.output_row(key, state)
+                produced = {plan.output_row(key, state, slots=slots)
                             for state in distribution}
                 if len(produced) == 1:
                     rows.append(next(iter(produced)))
@@ -1446,10 +1521,11 @@ class WSDExecutor:
                                 joint: dict[tuple, float]) -> WSDQueryResult:
         """Plain aggregate queries: the distribution over whole answers."""
         schema = Schema([Column(name) for name in plan.output_names()])
+        slots = EvalSlots()
         order_keys: list[tuple] = []
         grouped: dict[tuple, tuple[float, Relation]] = {}
         for mapping, mass in joint.items():
-            rows = plan.answer_rows(dict(mapping))
+            rows = plan.answer_rows(dict(mapping), slots=slots)
             relation = _make_relation(schema, rows)
             fingerprint = (tuple(schema.names()), relation.fingerprint())
             if fingerprint not in grouped:
@@ -1515,6 +1591,7 @@ class WSDExecutor:
         self.stats.aggregate += 1
         self.aggregate_stats.queries += 1
         states = distribution.get((), {engine.identity: 1.0})
+        slots = EvalSlots()
         mass = 0.0
         for state, weight in states.items():
             if not state[0]:
@@ -1525,8 +1602,10 @@ class WSDExecutor:
                 finalized = [spec.finalize(state[offset + position])
                              for position, spec
                              in enumerate(subquery.specs)]
-                sub_values.append(subquery.slotted_item.evaluate(finalized))
-            if all(predicate.evaluate((), (), sub_values) is True
+                sub_values.append(
+                    subquery.slotted_item.evaluate(finalized, slots=slots))
+            if all(predicate.evaluate((), (), sub_values,
+                                      slots=slots) is True
                    for predicate in plan.world_predicates):
                 mass += weight
         return WSDQueryResult(

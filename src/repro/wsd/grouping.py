@@ -55,6 +55,7 @@ from .aggregate import (
     AggregatePlan,
     Contribution,
     DecomposedAggregator,
+    EvalSlots,
     _CountSpec,
     _ExistsSpec,
     plan_contributions,
@@ -189,8 +190,11 @@ def _compile_aggregate(executor, working, query: SelectQuery, tag: str,
         working, items = executor._resolve_from(working, query.from_clause)
     joined = executor._join_sources(working, items, query.where)
     specs = [_ExistsSpec()] + plan.specs
+    # The compiled plan is immutable and thread-shared; per-execution
+    # evaluation state travels in this slots object.
     contributions = plan_contributions(plan, joined,
-                                       wrap_key=lambda key: (tag, key))
+                                       wrap_key=lambda key: (tag, key),
+                                       slots=EvalSlots())
     schema = Schema([Column(name) for name in plan.output_names()])
     arity = len(specs)
 
@@ -208,7 +212,7 @@ def _decode_aggregate_rows(plan: AggregatePlan, mapping: dict[tuple, tuple],
     construction (:meth:`AggregatePlan.answer_rows`)."""
     states = {key[1]: state[offset:offset + arity]
               for key, state in mapping.items() if key[0] == tag}
-    return plan.answer_rows(states)
+    return plan.answer_rows(states, slots=EvalSlots())
 
 
 # -- group evaluation ----------------------------------------------------------------------

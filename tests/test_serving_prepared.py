@@ -150,30 +150,99 @@ class TestPreparedExecution:
         prepared.execute((12,))
         assert db.backend.stats.ground_cache_hits > hits_before
 
-    def test_prepared_plans_warm_on_first_execution(self):
+    def test_prepared_plans_compile_once_then_hit(self):
         db = build_session()
         prepared = db.prepare("select possible A, sum(B) from I group by A;")
-        assert prepared.plans == {}
+        cache = prepared.plans
+        before = cache.snapshot()
         prepared.execute()
-        assert len(prepared.plans) == 1
-        (query, plan), = prepared.plans.values()
-        assert query is prepared.statement
+        after_first = cache.snapshot()
+        # First execution compiles the statement's plan exactly once.
+        assert after_first["compiles"] == before["compiles"] + 1
+        plan = cache.plan_for(prepared.statement)
         assert plan is not None and plan.kind == "aggregate"
-        # The second execution reuses the compiled plan object.
+        # The second execution is a pure cache hit — zero new compiles,
+        # same plan object.
+        hits_before = cache.snapshot()["hits"]
         prepared.execute()
-        (query2, plan2), = prepared.plans.values()
-        assert plan2 is plan
+        after_second = cache.snapshot()
+        assert after_second["compiles"] == after_first["compiles"]
+        assert after_second["hits"] > hits_before
+        assert cache.plan_for(prepared.statement) is plan
+
+    def test_plans_property_is_the_process_wide_cache(self):
+        db = build_session()
+        first = db.prepare("select conf from I where B > ?;")
+        second = db.prepare("select possible A from I;")
+        other_session = build_session()
+        third = other_session.prepare("select conf from I;")
+        # Plans are immutable, so one shared cache serves every statement
+        # of every session (and therefore every thread).
+        assert first.plans is second.plans
+        assert first.plans is third.plans
 
     def test_plan_cache_stays_bounded_on_derived_asts(self):
         """`group worlds by` analyses a per-execution derived main AST; the
-        plan cache must cap instead of pinning one entry per execution."""
+        shared LRU must evict those instead of pinning one per execution."""
         db = build_session()
         prepared = db.prepare(
             "select possible B from I "
             "group worlds by (select count(*) from I where B > 12);")
         for _ in range(80):
             prepared.execute()
-        assert len(prepared.plans) <= 32
+        assert len(prepared.plans) <= prepared.plans.capacity
+
+    def test_threads_share_one_compiled_plan(self):
+        """The thread-shared-plan stress test: N threads execute the same
+        prepared statement concurrently with different parameters through
+        ONE compiled plan, and answers match serial replay to 1e-9."""
+        db = build_session()
+        prepared = db.prepare(
+            "select possible A, sum(B) from I where B > ? group by A;")
+        cache = prepared.plans
+        cache.clear()  # drop the entry so the run below compiles it fresh
+        compiles_before = cache.snapshot()["compiles"]
+
+        thread_count = 8
+        rounds = 5
+        parameters = [(5 + index,) for index in range(thread_count)]
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(thread_count)
+
+        def run(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                answers = []
+                for _ in range(rounds):
+                    answers.append(
+                        sorted(prepared.execute(parameters[index]).rows()))
+                results[index] = answers
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(index,))
+                   for index in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # All concurrent executions went through exactly one compilation of
+        # the statement's plan (measured before serial replay below, whose
+        # fresh session parses fresh ASTs and adds its own compiles).
+        assert cache.snapshot()["compiles"] == compiles_before + 1
+
+        replay = build_session()
+        for index in range(thread_count):
+            expected = sorted(replay.execute(
+                "select possible A, sum(B) from I "
+                f"where B > {parameters[index][0]} group by A;").rows())
+            for answer in results[index]:
+                assert len(answer) == len(expected)
+                for got, want in zip(answer, expected):
+                    assert got[0] == want[0]
+                    assert got[1] == pytest.approx(want[1], abs=1e-9)
 
     def test_generation_bump_invalidates_answers(self):
         db = build_session()
